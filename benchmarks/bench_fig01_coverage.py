@@ -1,0 +1,27 @@
+"""Figure 1 — % of vertices/edges covered by the top-K paths on the
+Twitter-analogue graph, K from 4 to 1024.
+
+Paper's result: coverage stays below 0.01% of vertices even at K = 4096.
+At reproduction scale the graph is ~10⁴× smaller so the absolute
+percentages are larger, but the figure's message — coverage is minuscule
+and nearly flat in K — is what this bench regenerates.
+"""
+
+from repro.bench import experiments
+
+
+def test_fig01_coverage(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: experiments.fig01_coverage(
+            runner, graph_name="GT", ks=(4, 16, 64, 256, 1024)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    ks = [row[0] for row in report.rows]
+    cov_v = [row[1] for row in report.rows]
+    # the paper's observation in assert form: tiny and nearly flat
+    assert cov_v[-1] < 25.0, "top-K paths must cover a small fraction"
+    assert cov_v == sorted(cov_v), "coverage is monotone in K"
+    assert ks[0] == 4

@@ -1,0 +1,23 @@
+"""Figure 4 — pruning power of the K upper bound, K = 8 and 128.
+
+Paper's result: 98.4% of vertices / 97.7% of edges pruned on average at
+K = 8, and nearly the same (97.7% / 96.6%) at K = 128.
+"""
+
+from repro.bench import experiments
+
+
+def test_fig04_pruning(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: experiments.fig04_pruning(runner, ks=(8, 128)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    avg = report.rows[-1]
+    assert avg[0] == "AVG"
+    # strong pruning at K=8 (paper: 98.4% V / 97.7% E)
+    assert avg[1] > 60.0, f"K=8 vertex pruning too weak: {avg[1]:.1f}%"
+    assert avg[2] > 60.0, f"K=8 edge pruning too weak: {avg[2]:.1f}%"
+    # pruning power persists at K=128 (paper: within ~1% of K=8)
+    assert avg[3] > 30.0, f"K=128 vertex pruning too weak: {avg[3]:.1f}%"

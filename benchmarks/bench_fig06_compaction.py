@@ -1,0 +1,48 @@
+"""Figure 6 — end-to-end time of the three compaction strategies plus the
+downstream KSP (K = 8) on the Twitter analogue, as the kept-edge fraction
+sweeps from ~0.005% to 100%.
+
+Paper's crossover structure: regeneration wins decisively when almost
+everything is pruned (37–48× over the others at 0.001%), the three tie in
+the middle, and edge-swap wins when most of the graph survives (4.4–7.6×
+over regeneration), with edge-swap consistently ~1.3× over status-array.
+"""
+
+from repro.bench import experiments
+
+FRACTIONS = (0.00005, 0.0005, 0.005, 0.05, 0.2, 0.655, 1.0)
+
+
+def test_fig06_compaction(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: experiments.fig06_compaction(
+            runner, graph_name="GT", fractions=FRACTIONS, k=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    # columns: frac, regen-compact, regen-ksp, swap-compact, swap-ksp,
+    #          status-compact, status-ksp
+    smallest = report.rows[0]
+    largest = report.rows[-1]
+    regen_total_small = smallest[1] + smallest[2]
+    swap_total_small = smallest[3] + smallest[4]
+    status_total_small = smallest[5] + smallest[6]
+    # when almost everything is pruned, regeneration wins end-to-end
+    # (paper: 37-48x at 0.001%; the renumbered small CSR is what the
+    # downstream KSP wants)
+    assert regen_total_small <= swap_total_small * 1.2
+    assert regen_total_small <= status_total_small * 1.2
+    # the paper's other robust ordering: edge-swap's mask-free traversal
+    # beats the status array end-to-end when most of the graph survives
+    # (paper: consistently ~1.3x).  NOTE the paper's third ordering —
+    # edge-swap *building* cheaper than regeneration at 100% — is a C++
+    # pointer-arithmetic artefact that does not carry to NumPy, where both
+    # builds are single vectorised passes; see EXPERIMENTS.md.
+    swap_total_large = largest[3] + largest[4]
+    status_total_large = largest[5] + largest[6]
+    assert swap_total_large <= status_total_large * 1.1
+    # status array is always the cheapest to *build* (it builds nothing)
+    assert largest[5] <= largest[1]
+    assert largest[5] <= largest[3]

@@ -1,0 +1,26 @@
+"""Figure 8 — technique benefits (ablation), K = 8 and 128, 32 threads.
+
+Paper's result: K-upper-bound pruning alone gives 4.9× (K=8) / 16.8×
+(K=128) over the no-pruning base; adaptive compaction adds a further 1.5× /
+33×, for 6.4× / 50× combined.  Every variant here is a real serial run
+whose measured decomposition is replayed on 32 simulated threads.
+"""
+
+from repro.bench import experiments
+
+
+def test_fig08_ablation(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: experiments.fig08_ablation(runner, ks=(8, 128)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    avg = report.rows[-1]
+    prune_k8, full_k8, prune_k128, full_k128 = avg[1], avg[2], avg[3], avg[4]
+    # pruning is the dominant technique and must speed the base up
+    assert prune_k8 > 1.2
+    assert prune_k128 > 1.2
+    # compaction must add on top of pruning (paper: 1.5x / 33x further)
+    assert full_k8 >= prune_k8 * 0.9
+    assert full_k128 >= prune_k128 * 0.9

@@ -1,0 +1,32 @@
+"""Figure 10 — distributed scalability of PeeK, 1→64 nodes ×16 cores, K=8.
+
+Paper's result: a stable speedup reaching ~30× at 64 nodes (1,024 cores)
+and 3.4 GTEPS on average.  Every point here runs the real distributed
+algorithms (Δ-stepping with owner-routed requests, sample sort) through
+the BSP-accounted SimComm with constants rescaled to the benchmark graph
+sizes (DESIGN.md §1).
+"""
+
+from repro.bench import experiments
+
+NODES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_fig10_distributed_scaling(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: experiments.fig10_distributed_scaling(
+            runner, k=8, nodes=NODES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    avg = report.rows[-1]
+    speedups = avg[1:]
+    assert speedups[0] == 1.0
+    # speedup keeps growing with node count (paper: up to 30x at 64 nodes)
+    assert speedups[-1] > speedups[1]
+    assert speedups[-1] > 4.0
+    # but communication keeps it clearly sublinear
+    assert speedups[-1] < 64.0
+    assert "GTEPS" in report.notes

@@ -1,0 +1,54 @@
+"""Figure 11 — runtime vs K (2 → 128) for Yen, NC, OptYen and PeeK.
+
+Paper's headline: growing K 64× grows PeeK's runtime only 1.1×, while
+OptYen grows 10.3×, Yen 18× and NC 60.7×.  Real serial wall-clock, same
+s–t pairs for every method; '-' marks deadline overruns (the paper's
+1-hour hyphens, scaled down).
+"""
+
+from repro.bench import experiments
+
+KS = (2, 4, 8, 16, 32, 64, 128)
+
+
+def test_fig11_k_sweep(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: experiments.fig11_k_sweep(
+            runner, ks=KS, methods=("Yen", "NC", "OptYen", "PeeK")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    def growth(method):
+        ratios = []
+        for row in report.rows:
+            if row[1] == method and row[2] and row[-1]:
+                ratios.append(row[-1] / row[2])
+        return sum(ratios) / len(ratios) if ratios else None
+
+    peek_growth = growth("PeeK")
+    optyen_growth = growth("OptYen")
+    yen_growth = growth("Yen")
+    assert peek_growth is not None and optyen_growth is not None
+    # the paper's K-insensitivity claim: PeeK grows far slower than the
+    # baselines.  (At reproduction scale K=128 covers a much larger graph
+    # fraction than on billion-edge graphs, so PeeK's absolute growth is
+    # bigger than the paper's 1.1x — the *relative* ordering is the
+    # reproduced shape; see EXPERIMENTS.md.)
+    assert peek_growth < optyen_growth
+    if yen_growth is not None:
+        assert peek_growth < yen_growth
+
+    def growth_to_16(method):
+        ratios = []
+        for row in report.rows:
+            if row[1] == method and row[2] and row[5]:
+                ratios.append(row[5] / row[2])
+        return sum(ratios) / len(ratios) if ratios else None
+
+    # in the regime where K's coverage stays tiny (K<=16 here), PeeK is
+    # nearly flat — the direct analogue of the paper's 1.1x
+    flat = growth_to_16("PeeK")
+    assert flat is not None and flat < 4.0, f"PeeK K=2->16 grew {flat:.1f}x"

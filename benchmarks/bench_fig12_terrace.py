@@ -1,0 +1,36 @@
+"""Figure 12 — adaptive graph compaction vs a Terrace-like dynamic graph,
+end-to-end (update + SSSP) on the Twitter analogue.
+
+Paper's result: at 0.001% kept edges PeeK's compaction beats Terrace by
+23,129× end-to-end; the gap narrows to ~7× at 65.53% kept, and the SSSP
+times themselves are comparable.  Both sides here are real Python
+executions (the Terrace container physically point-deletes every edge).
+"""
+
+from repro.bench import experiments
+
+FRACTIONS = (0.0005, 0.005, 0.05, 0.2, 0.655, 1.0)
+
+
+def test_fig12_terrace(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: experiments.fig12_terrace(
+            runner, graph_name="GT", fractions=FRACTIONS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    # columns: frac%, strategy, peek_compact, peek_sssp, terr_update, terr_sssp
+    smallest = report.rows[0]
+    peek_total = smallest[2] + smallest[3]
+    terrace_total = smallest[4] + smallest[5]
+    # deleting ~everything: compaction must crush per-edge point updates
+    assert terrace_total > 3.0 * peek_total, (
+        f"Terrace {terrace_total:.4f}s vs PeeK {peek_total:.4f}s"
+    )
+    # the advantage must shrink as fewer edges are deleted (paper obs. iii)
+    biggest = report.rows[-1]
+    ratio_small = terrace_total / max(peek_total, 1e-9)
+    ratio_big = (biggest[4] + biggest[5]) / max(biggest[2] + biggest[3], 1e-9)
+    assert ratio_big < ratio_small

@@ -1,0 +1,61 @@
+"""Novelty iii — K-upper-bound pruning as a preprocessing stage for every
+existing baseline ("PeeK can integrate with existing KSP algorithms to
+boost their performance", §1.3).
+
+Measures each baseline plain vs pruned+compacted on the Twitter analogue
+and reports the speedup each algorithm gains from the preprocessing.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.integrate import PrunedKSP
+from repro.ksp import make_algorithm
+
+INNERS = ("Yen", "NC", "OptYen", "SB", "SB*")
+
+
+def run(runner, graph_name: str, k: int):
+    g = runner.graph(graph_name)
+    pairs = runner.pairs(graph_name)
+    rows = []
+    for inner in INNERS:
+        plain_s, boosted_s = [], []
+        for s, t in pairs:
+            t0 = time.perf_counter()
+            ref = make_algorithm(inner, g, s, t).run(k)
+            plain_s.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            got = PrunedKSP(g, s, t, inner=inner).run(k)
+            boosted_s.append(time.perf_counter() - t0)
+            assert np.allclose(got.distances, ref.distances), inner
+        rows.append(
+            (inner, float(np.mean(plain_s)), float(np.mean(boosted_s)))
+        )
+    return rows
+
+
+def test_integration_boost(benchmark, runner, emit):
+    from repro.bench.experiments import ExperimentReport
+
+    rows = benchmark.pedantic(
+        lambda: run(runner, "GT", 32), rounds=1, iterations=1
+    )
+    boosts = []
+    table = []
+    for inner, plain, boosted in rows:
+        boost = plain / max(boosted, 1e-9)
+        boosts.append(boost)
+        table.append([inner, plain, boosted, boost])
+    emit(
+        ExperimentReport(
+            experiment="integration_boost",
+            title="Novelty iii — pruning as preprocessing, GT, K=32",
+            header=["algorithm", "plain (s)", "pruned (s)", "boost x"],
+            rows=table,
+            digits=4,
+        )
+    )
+    # the majority of baselines must benefit measurably
+    assert sum(1 for b in boosts if b > 1.3) >= 3

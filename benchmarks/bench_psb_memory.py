@@ -1,0 +1,59 @@
+"""Extension bench — the sidetrack family's time/space trade-off (paper §8).
+
+The paper discusses SB (fast, memory-hungry), SB* (faster via resumable
+SSSPs, even more state), and the parsimonious PSB family (bounded memory).
+This bench measures all five on one query and reports runtime together
+with ``peak_tree_bytes`` — the axis the whole family exists to trade on.
+"""
+
+import time
+
+import numpy as np
+
+from repro.ksp import make_algorithm
+
+FAMILY = ("SB", "SB*", "PSB", "PSB-v2", "PSB-v3")
+
+
+def run(runner, graph_name: str, k: int):
+    g = runner.graph(graph_name)
+    s, t = runner.pairs(graph_name)[0]
+    rows = []
+    base = None
+    for method in FAMILY:
+        algo = make_algorithm(method, g, s, t)
+        t0 = time.perf_counter()
+        res = algo.run(k)
+        secs = time.perf_counter() - t0
+        if base is None:
+            base = res.distances
+        else:
+            assert np.allclose(res.distances, base), method
+        rows.append((method, secs, algo.stats.peak_tree_bytes))
+    return rows
+
+
+def test_psb_memory_tradeoff(benchmark, runner, emit):
+    from repro.bench.experiments import ExperimentReport
+
+    rows = benchmark.pedantic(
+        lambda: run(runner, "LJ", 32), rounds=1, iterations=1
+    )
+    peaks = {}
+    table = []
+    for method, secs, peak in rows:
+        peaks[method] = peak
+        table.append([method, secs, peak / 1e6])
+    emit(
+        ExperimentReport(
+            experiment="psb_memory",
+            title="Sidetrack family time/space trade-off — LJ, K=32 (§8)",
+            header=["method", "seconds", "peak tree MB"],
+            rows=table,
+            digits=4,
+        )
+    )
+    # the §8 ordering: parsimonious variants never exceed SB's memory
+    assert peaks["PSB"] <= peaks["SB"]
+    assert peaks["PSB-v2"] <= peaks["SB"]
+    assert peaks["PSB-v3"] <= peaks["SB"]

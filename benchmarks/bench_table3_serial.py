@@ -1,0 +1,40 @@
+"""Table 3 — serial runtime of all six algorithms at K = 8 and K = 128.
+
+Paper's result: PeeK wins every cell; 2.2× over the best baseline on
+average at K = 8 and 3.1× at K = 128, with SB* the strongest serial
+baseline at large K.  Real wall-clock, one thread, identical s–t pairs.
+"""
+
+from repro.bench import experiments
+
+METHODS = ("Yen", "NC", "OptYen", "SB", "SB*", "PeeK")
+
+
+def test_table3_serial(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: experiments.table3_serial(runner, ks=(8, 128), methods=METHODS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+
+    def row(k, method):
+        return next(
+            r[2:] for r in report.rows if r[0] == f"K={k}" and r[1] == method
+        )
+
+    for k in (8, 128):
+        peek = row(k, "PeeK")
+        assert all(v is not None for v in peek), "PeeK must never time out"
+        for method in ("Yen", "OptYen"):
+            other = row(k, method)
+            wins = sum(
+                1
+                for p, o in zip(peek, other)
+                if o is not None and p <= o
+            )
+            present = sum(1 for o in other if o is not None)
+            assert wins >= present * 0.7, (
+                f"K={k}: PeeK beat {method} on only {wins}/{present} graphs"
+            )
+    assert "PeeK vs best baseline" in report.notes

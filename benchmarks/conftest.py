@@ -1,0 +1,42 @@
+"""Shared configuration for the table/figure regeneration benchmarks.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures via
+:mod:`repro.bench.experiments`, wrapped in pytest-benchmark so runtimes are
+recorded.  The reports are printed and saved under ``results/``.
+
+Environment knobs (see also repro.bench.harness):
+
+* ``REPRO_SCALE``    — tiny / small / medium    (default: small)
+* ``REPRO_PAIRS``    — s-t pairs per graph      (default here: 1)
+* ``REPRO_DEADLINE`` — per-run deadline seconds (default here: 30)
+
+The defaults keep a full ``pytest benchmarks/ --benchmark-only`` run in the
+tens of minutes on one laptop core; raise them to approach the paper's
+setup (32 pairs, 1-hour deadline).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(
+        scale=os.environ.get("REPRO_SCALE", "small"),
+        pairs_per_graph=int(os.environ.get("REPRO_PAIRS", "1")),
+        deadline_seconds=float(os.environ.get("REPRO_DEADLINE", "30")),
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """A helper that prints a regenerated report and saves it to results/."""
+
+    def _emit(report) -> None:
+        path = report.save("results")
+        print(f"\n{report.render()}\n[saved to {path}]")
+
+    return _emit

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Regulatory-pathway inference on a gene-interaction network (paper §1).
+
+In a gene interaction network, vertices are genes, edges are measured
+interactions, and a *regulatory pathway* from a causal gene to a target
+gene is a path of interacting genes.  Because interaction data is noisy,
+biologists inspect the K best pathways rather than just the single
+strongest one (Shih & Parthasarathy 2012; Lhota & Xie 2016 — the paper's
+refs [50, 62]).
+
+Edge weights: interactions carry a confidence score in (0, 1]; a pathway's
+plausibility is the product of its confidences, so using
+``weight = -log(confidence)`` turns "most plausible pathway" into a
+shortest-path problem — the standard trick, and PeeK applies unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import peek_ksp, shortest_k_groups
+from repro.core.peek import PeeK
+from repro.graph.build import from_edge_array
+
+
+def synthesize_interactome(num_genes: int = 2500, seed: int = 23):
+    """A scale-free interaction network with confidence-scored edges.
+
+    Real interactomes (BioGRID, STRING) are scale-free with confidence
+    scores concentrated near the detection threshold; a preferential-
+    attachment structure with Beta-distributed confidences mimics both.
+    """
+    from repro.graph.generators import preferential_attachment
+
+    structure = preferential_attachment(num_genes, 6, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    confidence = rng.beta(4.0, 2.0, size=structure.num_edges)
+    confidence = np.clip(confidence, 0.05, 0.999)
+    weights = -np.log(confidence)
+    return from_edge_array(
+        num_genes,
+        structure.edge_sources(),
+        structure.indices,
+        weights,
+        dedup=False,
+    )
+
+
+def main() -> None:
+    interactome = synthesize_interactome()
+    causal_gene, target_gene = 17, 2201
+    k = 10
+
+    print("gene regulatory pathway inference (paper §1, Biology analysis)")
+    print(
+        f"interactome: {interactome.num_vertices} genes, "
+        f"{interactome.num_edges} interactions"
+    )
+    print(f"causal gene g{causal_gene} -> target gene g{target_gene}, "
+          f"K = {k}\n")
+
+    result = peek_ksp(interactome, causal_gene, target_gene, k)
+    print("top candidate pathways (plausibility = product of confidences):")
+    for rank, path in enumerate(result.paths, 1):
+        plausibility = math.exp(-path.distance)
+        genes = " → ".join(f"g{v}" for v in path.vertices)
+        print(f"  #{rank:>2}  p={plausibility:6.3f}  {genes}")
+
+    # genes recurring across many top pathways are the interesting hubs
+    counts: dict[int, int] = {}
+    for path in result.paths:
+        for gene in path.vertices[1:-1]:
+            counts[gene] = counts.get(gene, 0) + 1
+    hubs = sorted(counts.items(), key=lambda kv: -kv[1])[:5]
+    print("\nintermediate genes recurring across pathways (likely "
+          "regulators):")
+    for gene, c in hubs:
+        print(f"  g{gene}: appears in {c}/{len(result.paths)} pathways")
+
+    # the GQL SHORTEST k GROUP variant groups pathways of equal plausibility
+    algo = PeeK(interactome, causal_gene, target_gene)
+    algo.prepare(k)
+    groups = shortest_k_groups(algo, 3)
+    print("\nSHORTEST 3 GROUP view (equal-plausibility tiers):")
+    for group in groups:
+        print(
+            f"  p={math.exp(-group.distance):6.3f}: "
+            f"{len(group.paths)} pathway(s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

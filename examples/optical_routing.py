@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Routing & spectrum assignment in an optical transport network via KSP.
+
+The paper's first motivating application (§1 "Routing"): in a flexible
+optical path network, a connection request is served by computing the K
+shortest candidate routes, then checking them *in distance order* for a
+route whose fibre links all have a free spectrum slot; the first available
+route wins (Wan et al., OFC 2011).
+
+This example builds a realistic mesh topology (a grid backbone with random
+express links, weights = fibre lengths), simulates a workload of connection
+requests with random slot occupancy, and compares the blocking rate for
+K = 1 (shortest path only) against K = 8 (KSP with PeeK) — showing why
+operators compute more than one path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PeeK
+from repro.errors import UnreachableTargetError
+from repro.graph.generators import grid_network
+from repro.paths import Path
+
+NUM_SLOTS = 12  # spectrum slots per fibre link
+
+
+def build_network(rows: int = 8, cols: int = 8, seed: int = 1):
+    """A national-backbone-like mesh: grid + 20% diagonal express links."""
+    return grid_network(
+        rows, cols, diagonal_prob=0.2, weight_scheme="random", seed=seed
+    )
+
+
+def route_is_available(
+    path: Path, slot_occupancy: dict[tuple[int, int], set[int]]
+) -> int | None:
+    """First spectrum slot free on *every* link of the route, else None.
+
+    The spectrum-continuity constraint of flexible optical networks: one
+    slot index must be free end-to-end.
+    """
+    free: set[int] = set(range(NUM_SLOTS))
+    for edge in path.edges():
+        free &= set(range(NUM_SLOTS)) - slot_occupancy.get(edge, set())
+        if not free:
+            return None
+    return min(free)
+
+
+def serve_request(
+    graph, source: int, target: int, k: int, slot_occupancy
+) -> tuple[Path, int] | None:
+    """KSP-based routing: first available of the K shortest routes."""
+    try:
+        result = PeeK(graph, source, target).run(k)
+    except UnreachableTargetError:
+        return None
+    for path in result.paths:  # already in increasing distance order
+        slot = route_is_available(path, slot_occupancy)
+        if slot is not None:
+            return path, slot
+    return None
+
+
+def simulate(k: int, num_requests: int = 150, seed: int = 3) -> float:
+    """Blocking rate of the network for a random request workload."""
+    rng = np.random.default_rng(seed)
+    graph = build_network()
+    n = graph.num_vertices
+    slot_occupancy: dict[tuple[int, int], set[int]] = {}
+    blocked = 0
+    for _ in range(num_requests):
+        s, t = rng.choice(n, size=2, replace=False)
+        served = serve_request(graph, int(s), int(t), k, slot_occupancy)
+        if served is None:
+            blocked += 1
+            continue
+        path, slot = served
+        for edge in path.edges():
+            slot_occupancy.setdefault(edge, set()).add(slot)
+    return blocked / num_requests
+
+
+def main() -> None:
+    print("optical routing & spectrum assignment (paper §1, Routing)")
+    print(f"mesh: 8x8 backbone, {NUM_SLOTS} spectrum slots per link\n")
+    for k in (1, 2, 4, 8):
+        rate = simulate(k)
+        print(f"K = {k:>2}: blocking rate {rate:6.1%}")
+    print(
+        "\nMore candidate routes -> fewer blocked connections; PeeK makes "
+        "the K=8 sweep cost barely more than K=1."
+    )
+
+
+if __name__ == "__main__":
+    main()

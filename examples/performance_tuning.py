@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Performance tuning: profile a query, then turn the knobs.
+
+The HPC workflow in three acts: measure where the time goes
+(`stage_breakdown`), identify the lever (here: K and the compaction
+strategy), and verify the change moved the needle without changing the
+answer.  Prints a per-stage table for several K values and a compaction-
+strategy comparison on the remnant the pruning produces.
+"""
+
+from __future__ import annotations
+
+from repro.bench.profiling import stage_breakdown
+from repro.graph.suite import random_st_pairs, suite_graph
+
+
+def main() -> None:
+    graph = suite_graph("GT", "small")
+    (source, target), = random_st_pairs(graph, 1, seed=11)
+    print(
+        f"graph GT: {graph.num_vertices} vertices, {graph.num_edges} edges; "
+        f"query {source}->{target}\n"
+    )
+
+    print("== where the time goes, by K ==")
+    print(f"{'K':>5} {'prune (s)':>10} {'compact (s)':>12} {'KSP (s)':>9} "
+          f"{'total (s)':>10} {'kept edges':>11}")
+    reference = {}
+    last_kept = None
+    for k in (2, 8, 32):
+        bd = stage_breakdown(graph, source, target, k)
+        reference[k] = bd.distances
+        last_kept = bd.remaining_edges
+        print(
+            f"{k:>5} {bd.prune_seconds:>10.4f} {bd.compact_seconds:>12.4f} "
+            f"{bd.ksp_seconds:>9.4f} {bd.total_seconds:>10.4f} "
+            f"{bd.remaining_edges:>11}"
+        )
+    print(
+        "\nThe prune stage is K-independent (two SSSPs) and dominates at "
+        "small K; the KSP stage grows with K but runs on the remnant."
+    )
+
+    pruned_frac = 1.0 - last_kept / graph.num_edges
+    print(f"\n== compaction strategy, pinned (K=32, {pruned_frac:.0%} of "
+          f"edges pruned) ==")
+    print(f"{'strategy':>14} {'compact (s)':>12} {'KSP (s)':>9} {'total (s)':>10}")
+    totals = {}
+    for strategy in ("regeneration", "edge-swap", "status-array"):
+        bd = stage_breakdown(
+            graph, source, target, 32, compaction_force=strategy
+        )
+        assert bd.distances == reference[32], "strategy must not change paths"
+        totals[strategy] = bd.total_seconds
+        print(
+            f"{strategy:>14} {bd.compact_seconds:>12.4f} "
+            f"{bd.ksp_seconds:>9.4f} {bd.total_seconds:>10.4f}"
+        )
+    best = min(totals, key=totals.get)
+    print(
+        f"\nBest end-to-end here: {best}. The adaptive α rule exists to "
+        "make that choice automatically from the remnant size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Exists so ``pip install -e .`` works without the ``wheel`` package (offline
+environments): with no [build-system] table in pyproject.toml, pip falls back
+to ``setup.py develop`` which needs only setuptools.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""PeeK: A Prune-Centric Approach for K Shortest Path Computation (SC '23).
+
+A from-scratch Python reproduction of the paper's system and of every
+substrate it depends on.  The three public entry points most users want:
+
+>>> from repro import peek_ksp
+>>> from repro.graph.generators import grid_network
+>>> g = grid_network(20, 20, seed=1)
+>>> result = peek_ksp(g, 0, 399, k=4)
+>>> len(result.paths)
+4
+
+* :func:`repro.peek_ksp` / :class:`repro.PeeK` — the paper's contribution.
+* :mod:`repro.ksp` — the five comparison algorithms (Yen, NC, OptYen, SB,
+  SB*) plus the PNC and ``SHORTEST k GROUP`` extensions.
+* :mod:`repro.graph` — CSR storage, generators, I/O, benchmark suite.
+* :mod:`repro.core` — K-upper-bound pruning and adaptive compaction,
+  usable as a preprocessing stage for *any* KSP algorithm.
+* :mod:`repro.parallel` / :mod:`repro.distributed` — the instrumented
+  parallel/distributed execution models (see DESIGN.md for how these
+  substitute for the paper's OpenMP/MPI hardware).
+* :mod:`repro.bench` — the harness that regenerates every table and figure.
+"""
+
+from repro.core.peek import PeeK, PeeKResult, peek_ksp
+from repro.core.pruning import k_upper_bound_prune
+from repro.graph.csr import CSRGraph
+from repro.ksp import (
+    ALGORITHMS,
+    make_algorithm,
+    nc_ksp,
+    optyen_ksp,
+    pnc_ksp,
+    sb_ksp,
+    sb_star_ksp,
+    shortest_k_groups,
+    yen_ksp,
+)
+from repro.paths import Path
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PeeK",
+    "PeeKResult",
+    "peek_ksp",
+    "k_upper_bound_prune",
+    "CSRGraph",
+    "Path",
+    "ALGORITHMS",
+    "make_algorithm",
+    "yen_ksp",
+    "nc_ksp",
+    "optyen_ksp",
+    "sb_ksp",
+    "sb_star_ksp",
+    "pnc_ksp",
+    "shortest_k_groups",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Minimal ASCII chart rendering for figure-type experiment reports.
+
+The paper's figures are line/bar charts; a text-only environment still
+benefits from *seeing* the shape, so the figure benchmarks attach a small
+ASCII rendering (log-scale capable) to their saved reports.  This is
+deliberately tiny — labelled series, fixed-height canvas, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(values, lo, hi, steps):
+    if hi <= lo:
+        return [0 for _ in values]
+    return [
+        min(steps - 1, int((v - lo) / (hi - lo) * (steps - 1)))
+        for v in values
+    ]
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 60,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render named series against a shared x axis.
+
+    ``logy=True`` plots log10 of the values (zeros/negatives clamped),
+    matching the paper's log-scale time axes (Fig 6/12).
+    """
+    pts: dict[str, list[float]] = {}
+    for name, ys in series.items():
+        vals = [float(v) for v in ys]
+        if logy:
+            vals = [math.log10(max(v, 1e-12)) for v in vals]
+        pts[name] = vals
+    all_vals = [v for vals in pts.values() for v in vals]
+    if not all_vals:
+        return title
+    lo, hi = min(all_vals), max(all_vals)
+    xs = [float(v) for v in x]
+    xlo, xhi = min(xs), max(xs)
+
+    canvas = [[" "] * width for _ in range(height)]
+    cols = _scale(xs, xlo, xhi, width)
+    for idx, (name, vals) in enumerate(pts.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        rows = _scale(vals, lo, hi, height)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{10**hi:.3g}" if logy else f"{hi:.3g}"
+    bot_label = f"{10**lo:.3g}" if logy else f"{lo:.3g}"
+    lines.append(f"{top_label:>9} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 9 + " │" + "".join(row))
+    lines.append(f"{bot_label:>9} ┤" + "".join(canvas[-1]))
+    lines.append(
+        " " * 9
+        + " └"
+        + "─" * width
+    )
+    lines.append(f"{'':9}  {xs[0]:<12.4g}{'':{max(width - 24, 0)}}{xs[-1]:>12.4g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(pts)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per label (the Fig 4/8-style per-graph bars)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return title
+    peak = max(vals) or 1.0
+    lines = [title] if title else []
+    label_w = max(len(str(lbl)) for lbl in labels)
+    for lbl, v in zip(labels, vals):
+        bar = "█" * max(1, int(v / peak * width)) if v > 0 else ""
+        lines.append(f"{str(lbl):>{label_w}} │{bar} {v:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,712 @@
+"""One function per paper table/figure (see DESIGN.md §3 for the index).
+
+Every function takes an :class:`~repro.bench.harness.ExperimentRunner`
+(which pins the scale, the s–t pairs, and the deadline) and returns an
+:class:`ExperimentReport` whose rows mirror the paper's layout.  Real
+algorithm executions produce every number; the parallel/distributed entries
+are simulated *from those real executions* via the instrumented cost models
+(DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+
+import numpy as np
+
+from repro.bench.harness import ExperimentRunner
+from repro.bench.tables import format_table
+from repro.core.compaction import adaptive_compact
+from repro.core.peek import PeeK
+from repro.core.pruning import k_upper_bound_prune
+from repro.distributed import CommModel, distributed_peek
+from repro.dyn import TerraceGraph
+from repro.ksp import OptYenKSP
+from repro.parallel import (
+    baseline_ksp_workload,
+    peek_workload,
+    simulate,
+    speedup_curve,
+)
+from repro.parallel.metrics import calibrate, gteps
+from repro.sssp import delta_stepping, dijkstra
+
+__all__ = [
+    "ExperimentReport",
+    "fig01_coverage",
+    "fig04_pruning",
+    "fig06_compaction",
+    "fig08_ablation",
+    "fig09_shared_scaling",
+    "fig10_distributed_scaling",
+    "fig11_k_sweep",
+    "fig12_terrace",
+    "table2_parallel",
+    "table3_serial",
+    "ALL_EXPERIMENTS",
+]
+
+
+@dataclass
+class ExperimentReport:
+    """Rows + rendering for one regenerated table/figure."""
+
+    experiment: str
+    title: str
+    header: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+    digits: int = 2
+
+    def render(self) -> str:
+        text = format_table(
+            self.header, self.rows, title=self.title, digits=self.digits
+        )
+        if self.notes:
+            text += "\n" + self.notes
+        return text
+
+    def save(self, directory="results") -> FilePath:
+        d = FilePath(directory)
+        d.mkdir(parents=True, exist_ok=True)
+        path = d / f"{self.experiment}.txt"
+        path.write_text(self.render() + "\n", encoding="utf-8")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — coverage of the K shortest paths
+# ----------------------------------------------------------------------
+
+
+def fig01_coverage(
+    runner: ExperimentRunner,
+    graph_name: str = "GT",
+    ks: tuple[int, ...] = (4, 16, 64, 256, 1024),
+) -> ExperimentReport:
+    """% of vertices/edges covered by the top-K paths vs K (paper Fig 1).
+
+    The paper's observation that motivates everything else: even K = 4096
+    covers < 0.01% of Twitter.  One PeeK run at max(ks) per pair yields the
+    whole K sweep (coverage of a K prefix of the path list).
+    """
+    g = runner.graph(graph_name)
+    k_max = max(ks)
+    cov_v = {k: [] for k in ks}
+    cov_e = {k: [] for k in ks}
+    for s, t in runner.pairs(graph_name):
+        res = PeeK(g, s, t).run(k_max)
+        for k in ks:
+            prefix = res.paths[: min(k, len(res.paths))]
+            verts = set()
+            edges = set()
+            for p in prefix:
+                verts.update(p.vertices)
+                edges.update(p.edges())
+            cov_v[k].append(100.0 * len(verts) / g.num_vertices)
+            cov_e[k].append(100.0 * len(edges) / g.num_edges)
+    rows = [
+        [k, float(np.mean(cov_v[k])), float(np.mean(cov_e[k]))] for k in ks
+    ]
+    from repro.bench.ascii_plot import line_chart
+
+    chart = line_chart(
+        list(ks),
+        {
+            "covered V %": [r[1] for r in rows],
+            "covered E %": [r[2] for r in rows],
+        },
+        title="coverage vs K",
+    )
+    return ExperimentReport(
+        experiment="fig01_coverage",
+        title=(
+            f"Figure 1 — covered vertex/edge %% vs K on {graph_name} "
+            f"(n={g.num_vertices}, m={g.num_edges}, scale={runner.scale})"
+        ),
+        header=["K", "covered V %", "covered E %"],
+        rows=rows,
+        notes=chart,
+        digits=4,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — pruning power
+# ----------------------------------------------------------------------
+
+
+def fig04_pruning(
+    runner: ExperimentRunner, ks: tuple[int, ...] = (8, 128)
+) -> ExperimentReport:
+    """% of vertices/edges removed by K-upper-bound pruning (paper Fig 4)."""
+    rows = []
+    for name in runner.graph_names():
+        g = runner.graph(name)
+        row: list = [name]
+        for k in ks:
+            fv, fe = [], []
+            for s, t in runner.pairs(name):
+                pr = k_upper_bound_prune(g, s, t, k)
+                fv.append(100.0 * pr.pruned_vertex_fraction)
+                fe.append(100.0 * pr.pruned_edge_fraction(g))
+            row += [float(np.mean(fv)), float(np.mean(fe))]
+        rows.append(row)
+    avg = ["AVG"] + [
+        float(np.mean([r[i] for r in rows])) for i in range(1, 1 + 2 * len(ks))
+    ]
+    rows.append(avg)
+    header = ["graph"]
+    for k in ks:
+        header += [f"pruned V % (K={k})", f"pruned E % (K={k})"]
+    from repro.bench.ascii_plot import bar_chart
+
+    chart = bar_chart(
+        [r[0] for r in rows],
+        [r[1] for r in rows],
+        title=f"pruned vertices %, K={ks[0]}",
+        unit="%",
+    )
+    return ExperimentReport(
+        experiment="fig04_pruning",
+        title=f"Figure 4 — K upper bound pruning power (scale={runner.scale})",
+        header=header,
+        rows=rows,
+        notes=chart,
+        digits=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — compaction strategies, end to end
+# ----------------------------------------------------------------------
+
+
+def _keep_masks_for_fraction(graph, s, t, k, fraction, seed=0):
+    """A keep decision retaining ``fraction`` of edges, never dropping the
+    actual K shortest paths (the paper's Fig 6 workload construction)."""
+    rng = np.random.default_rng(seed)
+    res = OptYenKSP(graph, s, t).run(k)
+    protected_v = np.zeros(graph.num_vertices, dtype=bool)
+    protected_e = np.zeros(graph.num_edges, dtype=bool)
+    pairs = set()
+    for p in res.paths:
+        protected_v[list(p.vertices)] = True
+        pairs.update(p.edges())
+    src = graph.edge_sources()
+    for e in range(graph.num_edges):
+        if (int(src[e]), int(graph.indices[e])) in pairs:
+            protected_e[e] = True
+    want = int(round(fraction * graph.num_edges))
+    keep_edges = protected_e.copy()
+    deficit = want - int(keep_edges.sum())
+    if deficit > 0:
+        candidates = np.flatnonzero(~keep_edges)
+        extra = rng.choice(candidates, size=min(deficit, candidates.size), replace=False)
+        keep_edges[extra] = True
+    keep_vertices = protected_v.copy()
+    keep_vertices[src[keep_edges]] = True
+    keep_vertices[graph.indices[keep_edges]] = True
+    keep_vertices[[s, t]] = True
+    return keep_vertices, keep_edges
+
+
+def fig06_compaction(
+    runner: ExperimentRunner,
+    graph_name: str = "GT",
+    fractions: tuple[float, ...] = (0.00005, 0.0005, 0.005, 0.05, 0.2, 0.655, 1.0),
+    k: int = 8,
+) -> ExperimentReport:
+    """End-to-end compact + KSP time of the three strategies (paper Fig 6)."""
+    g = runner.graph(graph_name)
+    s, t = runner.pairs(graph_name)[0]
+    rows = []
+    for frac in fractions:
+        keep_v, keep_e = _keep_masks_for_fraction(g, s, t, k, frac)
+        row: list = [100.0 * frac]
+        for strategy in ("regeneration", "edge-swap", "status-array"):
+            t0 = time.perf_counter()
+            comp = adaptive_compact(g, keep_v, keep_e, force=strategy)
+            t_compact = time.perf_counter() - t0
+            if comp.is_regenerated:
+                regen = comp.compacted
+                inner = OptYenKSP(
+                    regen.graph, regen.map_vertex(s), regen.map_vertex(t)
+                )
+            else:
+                inner = OptYenKSP(comp.compacted, s, t)
+            t0 = time.perf_counter()
+            inner.run(k)
+            t_ksp = time.perf_counter() - t0
+            row += [t_compact, t_ksp]
+        rows.append(row)
+    header = ["kept E %"]
+    for strategy in ("regen", "edge-swap", "status-arr"):
+        header += [f"{strategy} compact (s)", f"{strategy} KSP (s)"]
+    from repro.bench.ascii_plot import line_chart
+
+    chart = line_chart(
+        [r[0] for r in rows],
+        {
+            "regen e2e": [r[1] + r[2] for r in rows],
+            "edge-swap e2e": [r[3] + r[4] for r in rows],
+            "status e2e": [r[5] + r[6] for r in rows],
+        },
+        logy=True,
+        title="end-to-end seconds (log) vs kept-edge %",
+    )
+    return ExperimentReport(
+        experiment="fig06_compaction",
+        notes=chart,
+        title=(
+            f"Figure 6 — compaction strategy end-to-end times on "
+            f"{graph_name} (K={k}, scale={runner.scale})"
+        ),
+        header=header,
+        rows=rows,
+        digits=4,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — ablation of pruning and compaction
+# ----------------------------------------------------------------------
+
+
+def fig08_ablation(
+    runner: ExperimentRunner,
+    ks: tuple[int, ...] = (8, 128),
+    threads: int = 32,
+) -> ExperimentReport:
+    """Technique benefits: base vs +pruning vs +pruning+compaction (Fig 8).
+
+    The paper's figure is parallel (32 threads); each variant's measured
+    serial run is replayed through the shared-memory simulator and the
+    speedups are ratios of simulated times.
+    """
+    variants = {
+        "base": dict(prune=False, compact=False),
+        "prune": dict(compact=False),
+        "full": dict(),
+    }
+    rows = []
+    for name in runner.graph_names():
+        g = runner.graph(name)
+        row: list = [name]
+        for k in ks:
+            sims = {v: [] for v in variants}
+            for s, t in runner.pairs(name):
+                for label, flags in variants.items():
+                    # real serial run anchors the unit cost of *this*
+                    # variant (Python bookkeeping included), then the
+                    # simulator redistributes its measured decomposition
+                    t0 = time.perf_counter()
+                    res = PeeK(g, s, t, **flags).run(k)
+                    measured = time.perf_counter() - t0
+                    wl = peek_workload(res)
+                    cal = calibrate(wl, measured)
+                    sims[label].append(
+                        cal.seconds(simulate(wl, threads).time_units)
+                    )
+            b = float(np.mean(sims["base"]))
+            row += [
+                b / float(np.mean(sims["prune"])),
+                b / float(np.mean(sims["full"])),
+            ]
+        rows.append(row)
+    avg = ["AVG"] + [
+        float(np.mean([r[i] for r in rows])) for i in range(1, 1 + 2 * len(ks))
+    ]
+    rows.append(avg)
+    header = ["graph"]
+    for k in ks:
+        header += [f"+pruning x (K={k})", f"+prune+compact x (K={k})"]
+    return ExperimentReport(
+        experiment="fig08_ablation",
+        title=(
+            f"Figure 8 — technique benefits, simulated {threads} threads, "
+            f"speedup over base (scale={runner.scale})"
+        ),
+        header=header,
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — shared-memory scalability
+# ----------------------------------------------------------------------
+
+
+def fig09_shared_scaling(
+    runner: ExperimentRunner,
+    k: int = 8,
+    threads: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> ExperimentReport:
+    """PeeK speedup vs thread count (paper Fig 9), simulated from real runs."""
+    rows = []
+    curves = []
+    for name in runner.graph_names():
+        g = runner.graph(name)
+        per_pair = []
+        for s, t in runner.pairs(name):
+            res = PeeK(g, s, t).run(k)
+            per_pair.append(speedup_curve(peek_workload(res), list(threads)))
+        avg = {p: float(np.mean([c[p] for c in per_pair])) for p in threads}
+        curves.append(avg)
+        rows.append([name] + [avg[p] for p in threads])
+    avg_curve = [float(np.mean([c[p] for c in curves])) for p in threads]
+    rows.append(["AVG"] + avg_curve)
+    from repro.bench.ascii_plot import line_chart
+
+    chart = line_chart(
+        list(threads),
+        {"avg speedup": avg_curve, "ideal": [float(p) for p in threads]},
+        title="speedup vs threads (AVG of suite)",
+    )
+    return ExperimentReport(
+        experiment="fig09_shared_scaling",
+        title=(
+            f"Figure 9 — shared-memory scalability, K={k} "
+            f"(simulated threads; scale={runner.scale})"
+        ),
+        header=["graph"] + [f"{p}T" for p in threads],
+        rows=rows,
+        notes=chart,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — distributed scalability
+# ----------------------------------------------------------------------
+
+
+def fig10_distributed_scaling(
+    runner: ExperimentRunner,
+    k: int = 8,
+    nodes: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+) -> ExperimentReport:
+    """Distributed PeeK speedup vs node count + GTEPS (paper Fig 10).
+
+    16 cores per node, as in the paper; the BSP comm constants are rescaled
+    to the benchmark graph size (see ``CommModel.scaled_for``).
+    """
+    rows = []
+    curves = []
+    gteps_max = []
+    for name in runner.graph_names():
+        g = runner.graph(name)
+        model = CommModel().scaled_for(g.num_edges)
+        s, t = runner.pairs(name)[0]
+        times = {}
+        edges = {}
+        for nn in nodes:
+            rep = distributed_peek(g, s, t, k, nn, model=model)
+            times[nn] = rep.time_units
+            edges[nn] = rep.edges_traversed
+        base = times[nodes[0]]
+        curve = {nn: base / times[nn] for nn in nodes}
+        curves.append(curve)
+        # GTEPS at the largest configuration, converting units→seconds with
+        # the same per-edge cost used for the serial anchor (~30 ns/unit in
+        # pure Python — measured, not assumed, by the caller's calibration).
+        t0 = time.perf_counter()
+        delta_stepping(g, s)
+        unit_s = (time.perf_counter() - t0) / max(g.num_edges, 1)
+        biggest = nodes[-1]
+        gteps_max.append(gteps(edges[biggest], times[biggest] * unit_s))
+        rows.append([name] + [curve[nn] for nn in nodes])
+    avg_curve = [float(np.mean([c[nn] for c in curves])) for nn in nodes]
+    rows.append(["AVG"] + avg_curve)
+    from repro.bench.ascii_plot import line_chart
+
+    chart = line_chart(
+        [16 * nn for nn in nodes],
+        {"avg speedup": avg_curve},
+        title="speedup vs total cores (AVG of suite)",
+    )
+    notes = (
+        chart
+        + f"\nGTEPS at {nodes[-1]} nodes x16 cores: "
+        + ", ".join(
+            f"{n}={v:.3f}" for n, v in zip(runner.graph_names(), gteps_max)
+        )
+    )
+    return ExperimentReport(
+        experiment="fig10_distributed_scaling",
+        title=(
+            f"Figure 10 — distributed scalability, K={k}, 16 cores/node "
+            f"(simulated BSP; scale={runner.scale})"
+        ),
+        header=["graph"] + [f"{nn}N/{16*nn}c" for nn in nodes],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — runtime vs K
+# ----------------------------------------------------------------------
+
+
+def fig11_k_sweep(
+    runner: ExperimentRunner,
+    ks: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128),
+    methods: tuple[str, ...] = ("Yen", "NC", "OptYen", "PeeK"),
+) -> ExperimentReport:
+    """Serial runtime of each method as K grows 2→128 (paper Fig 11)."""
+    rows = []
+    for name in runner.graph_names():
+        for method in methods:
+            row: list = [name, method]
+            for k in ks:
+                mean, _ = runner.average_seconds(method, name, k)
+                row.append(mean)
+            rows.append(row)
+    # growth factor K=2 -> K=max (the paper's headline 1.1x vs 10.3x)
+    notes_lines = []
+    for method in methods:
+        ratios = []
+        for name in runner.graph_names():
+            row = next(
+                r for r in rows if r[0] == name and r[1] == method
+            )
+            first, last = row[2], row[-1]
+            if first and last:
+                ratios.append(last / first)
+        if ratios:
+            notes_lines.append(
+                f"{method}: runtime x{float(np.mean(ratios)):.1f} from "
+                f"K={ks[0]} to K={ks[-1]}"
+            )
+    return ExperimentReport(
+        experiment="fig11_k_sweep",
+        title=(
+            f"Figure 11 — runtime (s) vs K (serial, scale={runner.scale}; "
+            "'-' = deadline exceeded)"
+        ),
+        header=["graph", "method"] + [f"K={k}" for k in ks],
+        rows=rows,
+        notes="\n".join(notes_lines),
+        digits=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — adaptive compaction vs Terrace
+# ----------------------------------------------------------------------
+
+
+def fig12_terrace(
+    runner: ExperimentRunner,
+    graph_name: str = "GT",
+    fractions: tuple[float, ...] = (0.00005, 0.0005, 0.005, 0.05, 0.2, 0.655, 1.0),
+) -> ExperimentReport:
+    """Graph update + SSSP: adaptive compaction vs the Terrace-like
+    dynamic container (paper Fig 12; SSSP as the downstream task)."""
+    g = runner.graph(graph_name)
+    s, t = runner.pairs(graph_name)[0]
+    src_all = g.edge_sources()
+    rows = []
+    for frac in fractions:
+        keep_v, keep_e = _keep_masks_for_fraction(g, s, t, 8, frac)
+        # ---- PeeK adaptive compaction + SSSP ----
+        t0 = time.perf_counter()
+        comp = adaptive_compact(g, keep_v, keep_e)
+        t_compact = time.perf_counter() - t0
+        if comp.is_regenerated:
+            target_graph = comp.compacted.graph
+            src_v = comp.compacted.map_vertex(s)
+        else:
+            target_graph = comp.compacted
+            src_v = s
+        t0 = time.perf_counter()
+        delta_stepping(target_graph, src_v)
+        t_sssp = time.perf_counter() - t0
+        # ---- Terrace: point-delete the removed edges, then SSSP ----
+        tg = TerraceGraph.from_csr(g)
+        live = keep_e & keep_v[src_all] & keep_v[g.indices]
+        dead = np.flatnonzero(~live)
+        t0 = time.perf_counter()
+        if dead.size:
+            tg.delete_edges(src_all[dead], g.indices[dead])
+        t_terrace_del = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        tg.sssp(s)
+        t_terrace_sssp = time.perf_counter() - t0
+        rows.append(
+            [
+                100.0 * frac,
+                comp.strategy,
+                t_compact,
+                t_sssp,
+                t_terrace_del,
+                t_terrace_sssp,
+            ]
+        )
+    from repro.bench.ascii_plot import line_chart
+
+    chart = line_chart(
+        [r[0] for r in rows],
+        {
+            "PeeK e2e": [r[2] + r[3] for r in rows],
+            "Terrace e2e": [max(r[4] + r[5], 1e-6) for r in rows],
+        },
+        logy=True,
+        title="update + SSSP seconds (log) vs kept-edge %",
+    )
+    return ExperimentReport(
+        experiment="fig12_terrace",
+        notes=chart,
+        title=(
+            f"Figure 12 — adaptive compaction vs Terrace-like dynamic "
+            f"graph on {graph_name} (scale={runner.scale})"
+        ),
+        header=[
+            "kept E %",
+            "PeeK strategy",
+            "PeeK compact (s)",
+            "PeeK SSSP (s)",
+            "Terrace update (s)",
+            "Terrace SSSP (s)",
+        ],
+        rows=rows,
+        digits=4,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — parallel runtime comparison
+# ----------------------------------------------------------------------
+
+
+def _method_workload(method: str, record) -> object:
+    if method == "PeeK":
+        return peek_workload(record.result)
+    return baseline_ksp_workload(record.result.stats)
+
+
+def table2_parallel(
+    runner: ExperimentRunner,
+    ks: tuple[int, ...] = (8, 128),
+    methods: tuple[str, ...] = ("Yen", "NC", "OptYen", "PeeK"),
+    threads: int = 32,
+) -> ExperimentReport:
+    """Parallel runtime, 32 threads (paper Table 2).
+
+    Each method runs for real (serial), its measured wall-clock calibrates
+    the work-unit cost, and the simulator replays its logged decomposition
+    on 32 threads.  Hyphen = the serial run exceeded the deadline.
+    """
+    rows = []
+    best_speedups = {k: [] for k in ks}
+    for k in ks:
+        per_method: dict[str, list] = {m: [] for m in methods}
+        for name in runner.graph_names():
+            sims: dict[str, float | None] = {}
+            for method in methods:
+                secs = []
+                failed = False
+                for s, t in runner.pairs(name):
+                    rec = runner.time_run(method, name, s, t, k)
+                    if not rec.ok:
+                        failed = True
+                        break
+                    wl = _method_workload(method, rec)
+                    cal = calibrate(wl, rec.seconds)
+                    secs.append(
+                        cal.seconds(simulate(wl, threads).time_units)
+                    )
+                sims[method] = None if failed else float(np.mean(secs))
+            for method in methods:
+                per_method[method].append(sims[method])
+            others = [
+                v for m, v in sims.items() if m != "PeeK" and v is not None
+            ]
+            if sims.get("PeeK") and others:
+                best_speedups[k].append(min(others) / sims["PeeK"])
+        for method in methods:
+            rows.append([f"K={k}", method] + per_method[method])
+    notes = "; ".join(
+        f"K={k}: PeeK vs best baseline {float(np.mean(v)):.1f}x"
+        for k, v in best_speedups.items()
+        if v
+    )
+    return ExperimentReport(
+        experiment="table2_parallel",
+        title=(
+            f"Table 2 — parallel runtime (s), simulated {threads} threads "
+            f"(scale={runner.scale}; '-' = deadline exceeded)"
+        ),
+        header=["K", "method"] + list(runner.graph_names()),
+        rows=rows,
+        notes=notes,
+        digits=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 3 — serial runtime comparison
+# ----------------------------------------------------------------------
+
+
+def table3_serial(
+    runner: ExperimentRunner,
+    ks: tuple[int, ...] = (8, 128),
+    methods: tuple[str, ...] = ("Yen", "NC", "OptYen", "SB", "SB*", "PeeK"),
+) -> ExperimentReport:
+    """Serial runtime, one thread, real wall-clock (paper Table 3)."""
+    rows = []
+    speedups = {k: [] for k in ks}
+    for k in ks:
+        per_graph: dict[str, dict[str, float | None]] = {}
+        for name in runner.graph_names():
+            per_graph[name] = {}
+            for method in methods:
+                mean, _ = runner.average_seconds(method, name, k)
+                per_graph[name][method] = mean
+            others = [
+                v
+                for m, v in per_graph[name].items()
+                if m != "PeeK" and v is not None
+            ]
+            peek_t = per_graph[name].get("PeeK")
+            if peek_t and others:
+                speedups[k].append(min(others) / peek_t)
+        for method in methods:
+            rows.append(
+                [f"K={k}", method]
+                + [per_graph[name][method] for name in runner.graph_names()]
+            )
+    notes = "; ".join(
+        f"K={k}: PeeK vs best baseline {float(np.mean(v)):.1f}x"
+        for k, v in speedups.items()
+        if v
+    )
+    return ExperimentReport(
+        experiment="table3_serial",
+        title=(
+            f"Table 3 — serial runtime (s), real wall-clock "
+            f"(scale={runner.scale}; '-' = deadline exceeded)"
+        ),
+        header=["K", "method"] + list(runner.graph_names()),
+        rows=rows,
+        notes=notes,
+        digits=3,
+    )
+
+
+#: name → callable, used by the CLI.
+ALL_EXPERIMENTS = {
+    "fig01": fig01_coverage,
+    "fig04": fig04_pruning,
+    "fig06": fig06_compaction,
+    "fig08": fig08_ablation,
+    "fig09": fig09_shared_scaling,
+    "fig10": fig10_distributed_scaling,
+    "fig11": fig11_k_sweep,
+    "fig12": fig12_terrace,
+    "table2": table2_parallel,
+    "table3": table3_serial,
+}

@@ -1,0 +1,118 @@
+"""Profiling helpers: where does a PeeK query actually spend its time?
+
+The HPC-Python workflow this repo follows is *measure first*: these
+helpers give a per-stage wall-clock breakdown of the PeeK pipeline and a
+cProfile summary of any callable, so a user tuning α, Δ, or K can see
+which stage moved.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["StageBreakdown", "stage_breakdown", "profile_to_text"]
+
+
+@dataclass
+class StageBreakdown:
+    """Wall-clock seconds per PeeK stage for one query."""
+
+    prune_seconds: float
+    compact_seconds: float
+    ksp_seconds: float
+    total_seconds: float
+    strategy: str
+    remaining_edges: int
+    distances: list[float] = field(default_factory=list)
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(stage, seconds, share) rows for table rendering."""
+        total = max(self.total_seconds, 1e-12)
+        return [
+            ("k-upper-bound pruning", self.prune_seconds, self.prune_seconds / total),
+            (f"compaction ({self.strategy})", self.compact_seconds, self.compact_seconds / total),
+            ("KSP on remnant", self.ksp_seconds, self.ksp_seconds / total),
+        ]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"total {self.total_seconds:.4f}s, {self.remaining_edges} edges kept"]
+        for stage, secs, share in self.rows():
+            lines.append(f"  {stage:<28} {secs:8.4f}s  {share:6.1%}")
+        return "\n".join(lines)
+
+
+def stage_breakdown(graph, source: int, target: int, k: int, **peek_kwargs) -> StageBreakdown:
+    """Run the PeeK pipeline stage by stage, timing each part.
+
+    Accepts the same keyword arguments as :class:`repro.core.peek.PeeK`
+    (``alpha``, ``kernel``, ``strong_edge_prune``, ...).
+    """
+    from repro.core.compaction import RegeneratedGraph, adaptive_compact
+    from repro.core.pruning import k_upper_bound_prune
+    from repro.ksp.optyen import OptYenKSP
+
+    alpha = peek_kwargs.pop("alpha", 0.1)
+    kernel = peek_kwargs.pop("kernel", "delta")
+    strong = peek_kwargs.pop("strong_edge_prune", False)
+    force = peek_kwargs.pop("compaction_force", None)
+    if peek_kwargs:
+        raise TypeError(f"unknown arguments: {sorted(peek_kwargs)}")
+
+    t0 = time.perf_counter()
+    pr = k_upper_bound_prune(
+        graph, source, target, k, kernel=kernel, strong_edge_prune=strong
+    )
+    t_prune = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    comp = adaptive_compact(
+        graph, pr.keep_vertices, pr.keep_edges, alpha=alpha, force=force
+    )
+    t_compact = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if isinstance(comp.compacted, RegeneratedGraph):
+        regen = comp.compacted
+        inner = OptYenKSP(
+            regen.graph, regen.map_vertex(source), regen.map_vertex(target)
+        )
+    else:
+        inner = OptYenKSP(comp.compacted, source, target)
+    result = inner.run(k)
+    t_ksp = time.perf_counter() - t0
+
+    return StageBreakdown(
+        prune_seconds=t_prune,
+        compact_seconds=t_compact,
+        ksp_seconds=t_ksp,
+        total_seconds=t_prune + t_compact + t_ksp,
+        strategy=comp.strategy,
+        remaining_edges=comp.remaining_edges,
+        distances=[p.distance for p in result.paths],
+    )
+
+
+def profile_to_text(fn, *args, top: int = 15, sort: str = "cumulative", **kwargs) -> str:
+    """cProfile a callable and return its top functions as text.
+
+    >>> from repro.graph.generators import grid_network
+    >>> from repro.core.peek import peek_ksp
+    >>> g = grid_network(10, 10, seed=0)
+    >>> text = profile_to_text(peek_ksp, g, 0, 99, 4, top=5)
+    >>> "function calls" in text
+    True
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats(sort).print_stats(top)
+    return buf.getvalue()

@@ -1,0 +1,87 @@
+"""Plain-text and Markdown table rendering for benchmark reports.
+
+Output mimics the paper's tables: one row per method, one column per graph,
+hyphens for runs that exceeded their deadline, the best entry starred.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_markdown", "format_cell"]
+
+
+def format_cell(value, *, digits: int = 2) -> str:
+    """Render one table cell: floats rounded, None as the paper's hyphen."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _column_widths(header: Sequence[str], rows: list[list[str]]) -> list[int]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    return widths
+
+
+def format_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str = "",
+    digits: int = 2,
+    star_min_columns: bool = False,
+) -> str:
+    """Fixed-width text table.
+
+    ``star_min_columns=True`` marks the smallest numeric value of each data
+    column with ``*`` — the paper highlights the best performer per graph.
+    """
+    str_rows = [[format_cell(c, digits=digits) for c in row] for row in rows]
+    if star_min_columns and rows:
+        for col in range(1, len(header)):
+            best_i, best_v = -1, None
+            for i, row in enumerate(rows):
+                v = row[col] if col < len(row) else None
+                if isinstance(v, (int, float)) and v == v:
+                    if best_v is None or v < best_v:
+                        best_i, best_v = i, v
+            if best_i >= 0:
+                str_rows[best_i][col] += "*"
+    widths = _column_widths(list(header), str_rows)
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "  "
+    lines.append(sep.join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        padded = [c.ljust(w) for c, w in zip(row, widths)]
+        lines.append(sep.join(padded))
+    return "\n".join(lines)
+
+
+def format_markdown(
+    header: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    digits: int = 2,
+) -> str:
+    """The same table as GitHub-flavoured Markdown (for EXPERIMENTS.md)."""
+    out = ["| " + " | ".join(header) + " |"]
+    out.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        out.append(
+            "| "
+            + " | ".join(format_cell(c, digits=digits) for c in row)
+            + " |"
+        )
+    return "\n".join(out)

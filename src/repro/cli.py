@@ -1,0 +1,150 @@
+"""``peek-bench`` — regenerate any of the paper's tables/figures from the
+command line.
+
+Examples::
+
+    peek-bench --list
+    peek-bench table3 --scale tiny --pairs 1 --deadline 20
+    peek-bench fig04 fig09 --out results/
+    peek-bench all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import ExperimentRunner
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="peek-bench",
+        description="Regenerate the PeeK paper's tables and figures.",
+    )
+    p.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (fig01 fig04 fig06 fig08 fig09 fig10 fig11 "
+        "fig12 table2 table3) or 'all'",
+    )
+    p.add_argument("--list", action="store_true", help="list experiment ids")
+    p.add_argument(
+        "--suite",
+        action="store_true",
+        help="print the benchmark graph suite's characterisation table",
+    )
+    p.add_argument(
+        "--profile",
+        metavar="GRAPH",
+        help="print a per-stage PeeK timing breakdown on a suite graph "
+        "(e.g. --profile GT)",
+    )
+    p.add_argument(
+        "--k", type=int, default=32, help="K for --profile (default 32)"
+    )
+    p.add_argument(
+        "--scale",
+        default=None,
+        choices=("tiny", "small", "medium"),
+        help="benchmark suite scale (default: $REPRO_SCALE or 'small')",
+    )
+    p.add_argument(
+        "--pairs", type=int, default=None, help="s-t pairs per graph"
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-run deadline in seconds (paper used 1 hour)",
+    )
+    p.add_argument(
+        "--out", default="results", help="directory for the report files"
+    )
+    return p
+
+
+def _print_suite(scale: str) -> None:
+    from repro.bench.tables import format_table
+    from repro.graph.metrics import summarize
+    from repro.graph.suite import SUITE_NAMES, suite_graph
+
+    rows = []
+    for name in SUITE_NAMES:
+        g = suite_graph(name, scale)
+        rows.append([name] + summarize(g, diameter_samples=2).row())
+    print(
+        format_table(
+            [
+                "graph", "n", "m", "avg deg", "max deg",
+                "deg gini", "w min", "w max", "eff diam",
+            ],
+            rows,
+            title=f"Benchmark suite at scale={scale} (paper Table 1 analogues)",
+        )
+    )
+
+
+def _print_profile(graph_name: str, scale: str, k: int) -> None:
+    from repro.bench.profiling import stage_breakdown
+    from repro.graph.suite import random_st_pairs, suite_graph
+
+    g = suite_graph(graph_name, scale)
+    (s, t), = random_st_pairs(g, 1, seed=2023)
+    bd = stage_breakdown(g, s, t, k)
+    print(
+        f"PeeK stage breakdown on {graph_name} (scale={scale}, "
+        f"{s}->{t}, K={k}):"
+    )
+    print(str(bd))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.suite:
+        _print_suite(args.scale or "small")
+        return 0
+    if args.profile:
+        _print_profile(args.profile, args.scale or "small", args.k)
+        return 0
+    if args.list or not args.experiments:
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s}  {doc}")
+        return 0
+
+    wanted = (
+        list(ALL_EXPERIMENTS)
+        if args.experiments == ["all"]
+        else args.experiments
+    )
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.pairs is not None:
+        kwargs["pairs_per_graph"] = args.pairs
+    if args.deadline is not None:
+        kwargs["deadline_seconds"] = args.deadline
+    runner = ExperimentRunner(**kwargs)
+
+    for name in wanted:
+        t0 = time.perf_counter()
+        report = ALL_EXPERIMENTS[name](runner)
+        elapsed = time.perf_counter() - t0
+        print(report.render())
+        path = report.save(args.out)
+        print(f"[{name} finished in {elapsed:.1f}s; saved to {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

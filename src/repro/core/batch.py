@@ -1,0 +1,206 @@
+"""Batched PeeK: many KSP queries against one graph.
+
+Real deployments (the paper's routing and graph-database scenarios) issue
+*streams* of s→t queries against one mostly-static graph.  Two reuse
+opportunities fall out of PeeK's structure:
+
+* **shared targets** — the reverse SSSP of the pruning stage depends only
+  on the target, so queries with a common target share it (a routing
+  engine answering "everyone → this gateway" pays one reverse Δ-stepping
+  total);
+* **shared sources** — symmetrically for the forward SSSP.
+
+:class:`BatchPeeK` memoises both against an LRU-bounded cache and exposes
+the same result objects as :class:`~repro.core.peek.PeeK`.  The KSP stage
+itself is per-query (each query's bound and remnant differ).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.compaction import RegeneratedGraph, adaptive_compact
+from repro.core.peek import PeeKResult
+from repro.core.pruning import PruneResult, PruneStats
+from repro.errors import UnreachableTargetError, VertexError
+from repro.ksp.optyen import OptYenKSP
+from repro.paths import INF, Path
+from repro.sssp.delta_stepping import delta_stepping
+from repro.sssp.dijkstra import dijkstra
+
+__all__ = ["BatchPeeK"]
+
+
+class BatchPeeK:
+    """A PeeK instance amortised over many queries on one graph.
+
+    Parameters
+    ----------
+    graph:
+        The (static) graph every query runs against.
+    kernel:
+        SSSP kernel for the pruning stage, as in PeeK.
+    cache_size:
+        Maximum number of forward *and* reverse SSSP results retained
+        (each is O(n) memory).
+    alpha:
+        Adaptive-compaction coefficient.
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        kernel: str = "delta",
+        cache_size: int = 64,
+        alpha: float = 0.1,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.graph = graph
+        self.kernel = kernel
+        self.alpha = alpha
+        self._cache_size = cache_size
+        self._fwd: OrderedDict[int, object] = OrderedDict()
+        self._rev: OrderedDict[int, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _sssp(self, cache: OrderedDict, graph, root: int):
+        res = cache.get(root)
+        if res is not None:
+            cache.move_to_end(root)
+            self.hits += 1
+            return res
+        self.misses += 1
+        if self.kernel == "delta":
+            res = delta_stepping(graph, root)
+        else:
+            res = dijkstra(graph, root)
+        cache[root] = res
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
+        return res
+
+    def forward_sssp(self, source: int):
+        """Cached forward SSSP from ``source``."""
+        return self._sssp(self._fwd, self.graph, source)
+
+    def reverse_sssp(self, target: int):
+        """Cached reverse SSSP toward ``target``."""
+        return self._sssp(self._rev, self.graph.reverse(), target)
+
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int, k: int) -> PeeKResult:
+        """One PeeK query, reusing any cached SSSP halves.
+
+        Identical results to ``PeeK(graph, s, t).run(k)`` (tested); only
+        the pruning SSSPs are shared across queries.
+        """
+        n = self.graph.num_vertices
+        if not 0 <= source < n or not 0 <= target < n:
+            raise VertexError(f"query ({source}, {target}) out of range")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        fwd = self.forward_sssp(source)
+        rev = self.reverse_sssp(target)
+        if not np.isfinite(fwd.dist[target]):
+            raise UnreachableTargetError(
+                f"target {target} unreachable from {source}"
+            )
+        pr = self._prune_from(fwd, rev, source, target, k)
+        comp = adaptive_compact(
+            self.graph, pr.keep_vertices, pr.keep_edges, alpha=self.alpha
+        )
+        if isinstance(comp.compacted, RegeneratedGraph):
+            regen = comp.compacted
+            inner = OptYenKSP(
+                regen.graph, regen.map_vertex(source), regen.map_vertex(target)
+            )
+            result = inner.run(k)
+            paths = [
+                Path(p.distance, regen.map_path_back(p.vertices))
+                for p in result.paths
+            ]
+        else:
+            inner = OptYenKSP(comp.compacted, source, target)
+            result = inner.run(k)
+            paths = result.paths
+        return PeeKResult(
+            paths=paths,
+            k_requested=k,
+            stats=result.stats,
+            prune=pr,
+            compaction=comp,
+            ksp_stats=result.stats,
+        )
+
+    def _prune_from(self, fwd, rev, source, target, k) -> PruneResult:
+        """Algorithm 2 steps 2–3 over pre-computed SSSP halves."""
+        from repro.core.validation import combined_path, validate_combined_path
+
+        graph = self.graph
+        n = graph.num_vertices
+        stats = PruneStats()
+        sp_sum = fwd.dist + rev.dist
+        stats.sum_work = n
+        finite = np.flatnonzero(np.isfinite(sp_sum))
+        order = finite[np.argsort(sp_sum[finite], kind="stable")]
+        stats.sort_work = int(
+            order.size * max(int(np.log2(max(order.size, 2))), 1)
+        )
+        bound = INF
+        seen: set[tuple[int, ...]] = set()
+        for v in order.tolist():
+            parts = combined_path(fwd.parent, rev.parent, source, target, v)
+            if parts is None:  # pragma: no cover - defensive
+                continue
+            src_path, tgt_path = parts
+            stats.validation_work += len(src_path) + len(tgt_path)
+            stats.inspected_paths += 1
+            valid, full = validate_combined_path(src_path, tgt_path)
+            if not valid:
+                stats.inspected_invalid += 1
+                continue
+            if full in seen:
+                continue
+            seen.add(full)
+            if len(seen) == k:
+                bound = float(sp_sum[v])
+                break
+        slack = bound * 1e-9 if np.isfinite(bound) else 0.0
+        threshold = bound + slack
+        keep_vertices = np.zeros(n, dtype=bool)
+        keep_vertices[finite] = sp_sum[finite] <= threshold
+        keep_edges = graph.weights <= threshold
+        stats.prune_scan_work = n + graph.num_edges
+        return PruneResult(
+            bound=bound,
+            keep_vertices=keep_vertices,
+            keep_edges=keep_edges,
+            dist_src=fwd.dist,
+            dist_tgt=rev.dist,
+            parent_src=fwd.parent,
+            parent_tgt=rev.parent,
+            sp_sum=sp_sum,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters plus current cache occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "forward_cached": len(self._fwd),
+            "reverse_cached": len(self._rev),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all cached SSSP results (e.g. after the graph changed)."""
+        self._fwd.clear()
+        self._rev.clear()

@@ -1,0 +1,215 @@
+"""PeeK — prune, compact, then compute KSP (the paper's full pipeline, §3).
+
+The three stages map one-to-one onto the paper's Figure 2:
+
+1. **K upper bound pruning** (:mod:`repro.core.pruning`) marks every vertex
+   that cannot appear on any of the K shortest paths;
+2. **adaptive graph compaction** (:mod:`repro.core.compaction`) turns that
+   decision into a graph the downstream stage traverses cheaply;
+3. **KSP computation** — the paper's customised OptYen: only the static
+   reverse tree is used (no vertex colours); an express candidate that is
+   simple needs no further work, otherwise one SSSP on the *remaining*
+   graph repairs it.  Here that is exactly
+   :class:`~repro.ksp.optyen.OptYenKSP` instantiated on the compacted graph.
+
+Feature flags reproduce the paper's ablation (Figure 8): ``prune=False,
+compact=False`` is the "Base" configuration (plain OptYen), ``prune=True,
+compact=False`` is "Base + Pruning" (status-array masks, no compaction),
+and the default is full PeeK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.compaction import (
+    CompactionResult,
+    RegeneratedGraph,
+    adaptive_compact,
+    compact_status_array,
+)
+from repro.core.pruning import PruneResult, k_upper_bound_prune
+from repro.errors import KSPError
+from repro.ksp.base import KSPAlgorithm, KSPResult, KSPStats
+from repro.ksp.optyen import OptYenKSP
+from repro.paths import Path
+
+__all__ = ["PeeK", "PeeKResult", "peek_ksp"]
+
+
+@dataclass
+class PeeKResult(KSPResult):
+    """A :class:`~repro.ksp.base.KSPResult` plus PeeK's stage artefacts."""
+
+    prune: PruneResult | None = None
+    compaction: CompactionResult | None = None
+    ksp_stats: KSPStats | None = None
+
+    @property
+    def pruned_vertex_fraction(self) -> float:
+        return self.prune.pruned_vertex_fraction if self.prune else 0.0
+
+
+class PeeK(KSPAlgorithm):
+    """The PeeK pipeline as a drop-in KSP algorithm.
+
+    Parameters
+    ----------
+    graph, source, target:
+        The query, on the *original* graph with original vertex ids.
+    alpha:
+        Adaptive-compaction threshold (§5.4); regeneration is chosen when
+        the remaining edges are fewer than ``alpha * m``.
+    prune, compact:
+        Ablation switches (Figure 8).  ``compact=False`` with pruning on
+        uses the paper's status-array fallback.
+    kernel:
+        SSSP kernel for the pruning stage: ``"delta"`` or ``"dijkstra"``.
+    strong_edge_prune:
+        Enable the edge-level Lemma-4.2 extension (see
+        :func:`~repro.core.pruning.k_upper_bound_prune`).
+    compaction_force:
+        Pin one compaction strategy regardless of the α rule (benchmarks).
+
+    Notes
+    -----
+    Unlike the other algorithms, PeeK needs K *before* any path can be
+    produced (the prune bound depends on it), so use :meth:`run`; calling
+    :meth:`iter_paths` first requires :meth:`prepare`.
+    """
+
+    name = "PeeK"
+
+    def __init__(
+        self,
+        graph,
+        source: int,
+        target: int,
+        *,
+        alpha: float = 0.1,
+        prune: bool = True,
+        compact: bool = True,
+        kernel: str = "delta",
+        strong_edge_prune: bool = False,
+        compaction_force: str | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        super().__init__(graph, source, target, deadline=deadline)
+        self.alpha = alpha
+        self.enable_prune = prune
+        self.enable_compact = compact
+        self.kernel = kernel
+        self.strong_edge_prune = strong_edge_prune
+        self.compaction_force = compaction_force
+        self._prepared_k: int | None = None
+        self._inner: OptYenKSP | None = None
+        self._regen: RegeneratedGraph | None = None
+        self.prune_result: PruneResult | None = None
+        self.compaction_result: CompactionResult | None = None
+
+    # ------------------------------------------------------------------
+    def prepare(self, k: int) -> None:
+        """Run stages 1–2 for a given K and build the inner KSP solver."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._prepared_k = k
+        self._regen = None
+        self.prune_result = None
+        self.compaction_result = None
+
+        if not self.enable_prune:
+            # Base configuration: plain OptYen on the original graph.
+            self._inner = OptYenKSP(
+                self.graph, self.source, self.target, deadline=self.deadline
+            )
+            return
+
+        pr = k_upper_bound_prune(
+            self.graph,
+            self.source,
+            self.target,
+            k,
+            kernel=self.kernel,
+            strong_edge_prune=self.strong_edge_prune,
+        )
+        self.prune_result = pr
+
+        if self.enable_compact:
+            comp = adaptive_compact(
+                self.graph,
+                pr.keep_vertices,
+                pr.keep_edges,
+                alpha=self.alpha,
+                force=self.compaction_force,
+            )
+        else:
+            # "Base + Pruning" ablation: original CSR + status arrays.
+            view = compact_status_array(
+                self.graph, pr.keep_vertices, pr.keep_edges
+            )
+            comp = CompactionResult(
+                strategy="status-array",
+                compacted=view,
+                remaining_vertices=int(pr.keep_vertices.sum()),
+                remaining_edges=view.num_edges,
+                original_edges=self.graph.num_edges,
+                build_work=self.graph.num_vertices + self.graph.num_edges,
+            )
+        self.compaction_result = comp
+
+        if isinstance(comp.compacted, RegeneratedGraph):
+            self._regen = comp.compacted
+            src = self._regen.map_vertex(self.source)
+            tgt = self._regen.map_vertex(self.target)
+            inner_graph = self._regen.graph
+        else:
+            src, tgt = self.source, self.target
+            inner_graph = comp.compacted
+        self._inner = OptYenKSP(inner_graph, src, tgt, deadline=self.deadline)
+
+    def iter_paths(self):
+        """Yield paths from the prepared pipeline (original vertex ids).
+
+        Only the first ``prepared_k`` paths are guaranteed correct — beyond
+        that the prune bound no longer covers the enumeration (Theorem 4.3
+        is a statement about the top K).  Iteration therefore stops at K.
+        """
+        if self._inner is None or self._prepared_k is None:
+            raise KSPError("PeeK.iter_paths requires prepare(k) first")
+        produced = 0
+        for path in self._inner.iter_paths():
+            if self._regen is not None:
+                path = Path(
+                    distance=path.distance,
+                    vertices=self._regen.map_path_back(path.vertices),
+                )
+            yield path
+            produced += 1
+            if produced >= self._prepared_k:
+                return
+
+    def run(self, k: int) -> PeeKResult:
+        """Full pipeline: prune for K, compact, compute the K paths."""
+        self.prepare(k)
+        assert self._inner is not None
+        paths = []
+        for path in self.iter_paths():
+            paths.append(path)
+            if len(paths) == k:
+                break
+        self.stats = self._inner.stats  # expose KSP-stage counters
+        return PeeKResult(
+            paths=paths,
+            k_requested=k,
+            stats=self._inner.stats,
+            prune=self.prune_result,
+            compaction=self.compaction_result,
+            ksp_stats=self._inner.stats,
+        )
+
+
+def peek_ksp(graph, source: int, target: int, k: int, **kwargs) -> PeeKResult:
+    """Convenience wrapper: ``PeeK(graph, s, t, **kw).run(k)``."""
+    return PeeK(graph, source, target, **kwargs).run(k)

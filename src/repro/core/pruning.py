@@ -1,0 +1,225 @@
+"""K upper bound pruning — Algorithm 2, the paper's key contribution.
+
+Given (G, s, t, K):
+
+1. run a forward SSSP from ``s`` and a reverse SSSP from ``t``
+   (Δ-stepping, as the paper's parallel design prescribes);
+2. ``spSum[v] = spSrc[v] + spTgt[v]`` — the shortest s→t distance through
+   ``v`` (Lemma 4.1: a lower bound when the combined path is not simple);
+3. scan vertices in increasing ``spSum``, counting *valid, unique* combined
+   paths until K are found; the K-th distance is the upper bound ``b``;
+4. prune every vertex with ``spSum[v] > b`` (Lemma 4.2) and every edge with
+   weight ``> b``.
+
+Theorem 4.3 (tested property): the K shortest simple paths of the pruned
+graph equal those of the original graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.validation import combined_path, validate_combined_path
+from repro.errors import UnreachableTargetError, VertexError
+from repro.paths import INF
+from repro.sssp.delta_stepping import delta_stepping
+from repro.sssp.dijkstra import dijkstra
+
+__all__ = ["PruneStats", "PruneResult", "k_upper_bound_prune"]
+
+
+@dataclass
+class PruneStats:
+    """Work accounting for one pruning run, per parallel job class (Fig 7).
+
+    ``sssp_phase_work`` concatenates the two Δ-stepping phase logs (data
+    parallel); ``sort_work``/``sum_work`` are the O(n log n)/O(n) bulk
+    passes (data parallel); ``validation_work`` is the combined length of
+    all inspected paths (embarrassingly parallel, per the paper's hash-table
+    design); ``inspected_invalid`` is the paper's λ.
+    """
+
+    sssp_phase_work: list[int] = field(default_factory=list)
+    sum_work: int = 0
+    sort_work: int = 0
+    validation_work: int = 0
+    prune_scan_work: int = 0
+    inspected_paths: int = 0
+    inspected_invalid: int = 0
+    edges_relaxed: int = 0
+    vertices_settled: int = 0
+
+    @property
+    def total_work(self) -> int:
+        return (
+            self.edges_relaxed
+            + self.vertices_settled
+            + self.sum_work
+            + self.sort_work
+            + self.validation_work
+            + self.prune_scan_work
+        )
+
+
+@dataclass
+class PruneResult:
+    """Everything downstream stages need from a pruning run."""
+
+    #: the estimated K upper bound ``b`` (``inf`` when fewer than K valid
+    #: combined paths exist — pruning then only removes unreachable parts)
+    bound: float
+    #: ``bool[n]`` — vertices that survive (``spSum <= b``)
+    keep_vertices: np.ndarray
+    #: ``bool[m]`` — edges that survive the weight rule (``w <= b``)
+    keep_edges: np.ndarray
+    #: forward / reverse shortest distances (the paper's spSrc / spTgt)
+    dist_src: np.ndarray
+    dist_tgt: np.ndarray
+    #: forward / reverse parent arrays (paper's parentSrc / parentTgt)
+    parent_src: np.ndarray
+    parent_tgt: np.ndarray
+    #: spSum[v] = spSrc[v] + spTgt[v]
+    sp_sum: np.ndarray
+    stats: PruneStats = field(default_factory=PruneStats)
+
+    @property
+    def num_kept_vertices(self) -> int:
+        return int(self.keep_vertices.sum())
+
+    @property
+    def pruned_vertex_fraction(self) -> float:
+        """Fraction of vertices removed — the paper's Figure 4 metric."""
+        n = self.keep_vertices.size
+        return 1.0 - self.num_kept_vertices / n if n else 0.0
+
+    def pruned_edge_fraction(self, graph) -> float:
+        """Fraction of edges removed (endpoint-pruned or overweight)."""
+        m = graph.num_edges
+        if m == 0:
+            return 0.0
+        live = (
+            self.keep_edges
+            & self.keep_vertices[graph.edge_sources()]
+            & self.keep_vertices[graph.indices]
+        )
+        return 1.0 - float(live.sum()) / m
+
+
+def k_upper_bound_prune(
+    graph,
+    source: int,
+    target: int,
+    k: int,
+    *,
+    kernel: str = "delta",
+    strong_edge_prune: bool = False,
+) -> PruneResult:
+    """Run Algorithm 2 and return the pruning decision.
+
+    Parameters
+    ----------
+    kernel:
+        ``"delta"`` (paper's choice; emits the parallel phase log) or
+        ``"dijkstra"`` (faster serially on small remaining graphs).
+    strong_edge_prune:
+        Library extension beyond the paper's weight rule: additionally drop
+        every edge ``(u, v)`` with ``spSrc[u] + w + spTgt[v] > b`` — the
+        edge-level analogue of Lemma 4.2, sound by the same argument.  Off
+        by default to match the paper; the ablation benchmark measures it.
+
+    Raises
+    ------
+    UnreachableTargetError
+        When no s→t path exists (the paper samples only reachable pairs).
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise VertexError(f"source {source} out of range [0, {n})")
+    if not 0 <= target < n:
+        raise VertexError(f"target {target} out of range [0, {n})")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    stats = PruneStats()
+
+    # ---- Step 1: the two SSSPs -------------------------------------------
+    if kernel == "delta":
+        fwd = delta_stepping(graph, source)
+        rev = delta_stepping(graph.reverse(), target)
+        stats.sssp_phase_work = list(fwd.stats.phase_work) + list(
+            rev.stats.phase_work
+        )
+    elif kernel == "dijkstra":
+        fwd = dijkstra(graph, source)
+        rev = dijkstra(graph.reverse(), target)
+    else:
+        raise ValueError(f"unknown SSSP kernel {kernel!r}")
+    for r in (fwd, rev):
+        stats.edges_relaxed += r.stats.edges_relaxed
+        stats.vertices_settled += r.stats.vertices_settled
+
+    if not np.isfinite(fwd.dist[target]):
+        raise UnreachableTargetError(
+            f"target {target} unreachable from {source}"
+        )
+
+    # ---- Step 2: spSum and the K upper bound -----------------------------
+    sp_sum = fwd.dist + rev.dist  # inf propagates for unreachable vertices
+    stats.sum_work = n
+
+    finite = np.flatnonzero(np.isfinite(sp_sum))
+    order = finite[np.argsort(sp_sum[finite], kind="stable")]
+    stats.sort_work = int(order.size * max(int(np.log2(max(order.size, 2))), 1))
+
+    bound = INF
+    seen_paths: set[tuple[int, ...]] = set()
+    for v in order.tolist():
+        src_tgt = combined_path(fwd.parent, rev.parent, source, target, v)
+        if src_tgt is None:  # pragma: no cover - finite spSum implies trees exist
+            continue
+        src_path, tgt_path = src_tgt
+        stats.validation_work += len(src_path) + len(tgt_path)
+        valid, full = validate_combined_path(src_path, tgt_path)
+        stats.inspected_paths += 1
+        if not valid:
+            stats.inspected_invalid += 1
+            continue
+        if full in seen_paths:
+            continue
+        seen_paths.add(full)
+        if len(seen_paths) == k:
+            bound = float(sp_sum[v])
+            break
+    # Fewer than K valid combined paths: the scan proved nothing beyond
+    # reachability, so b stays inf and only disconnected vertices fall.
+
+    # ---- Step 3: prune ----------------------------------------------------
+    # Distances on both sides of the comparison are sums of the same weights
+    # in different orders, so they can disagree by a few ulp.  Keeping a
+    # hair more than the exact bound is always sound (pruning less can never
+    # violate Theorem 4.3); pruning a vertex that is exactly *at* the bound
+    # would drop a K-th path.
+    slack = bound * 1e-9 if np.isfinite(bound) else 0.0
+    threshold = bound + slack
+    keep_vertices = np.zeros(n, dtype=bool)
+    keep_vertices[finite] = sp_sum[finite] <= threshold
+    keep_edges = graph.weights <= threshold
+    if strong_edge_prune:
+        src_of_edge = graph.edge_sources()
+        through = fwd.dist[src_of_edge] + graph.weights + rev.dist[graph.indices]
+        keep_edges &= ~(through > threshold)  # inf+inf stays inf; > is NaN-safe
+    stats.prune_scan_work = n + graph.num_edges
+
+    return PruneResult(
+        bound=bound,
+        keep_vertices=keep_vertices,
+        keep_edges=keep_edges,
+        dist_src=fwd.dist,
+        dist_tgt=rev.dist,
+        parent_src=fwd.parent,
+        parent_tgt=rev.parent,
+        sp_sum=sp_sum,
+        stats=stats,
+    )

@@ -1,0 +1,69 @@
+"""Combined-path validity check (paper §4.1, Figure 3(e)).
+
+A vertex ``v``'s *combined path* is its forward-tree path s→v glued to its
+reverse-tree path v→t.  The two subpaths are individually shortest but may
+intersect (the paper's example: vertex ``i`` whose source path is s→f→j→i
+and target path i→j→t — ``j`` repeats).  The K-upper-bound scan must count
+only valid (simple) combined paths, so this check runs for every inspected
+vertex; the paper makes it O(length) with a hash table, which is exactly a
+Python ``set`` here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["combined_path", "validate_combined_path"]
+
+
+def combined_path(
+    parent_src: np.ndarray,
+    parent_tgt: np.ndarray,
+    source: int,
+    target: int,
+    v: int,
+) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
+    """The (source-subpath, target-subpath) through ``v``; None if detached.
+
+    ``parent_src`` is a forward-SSSP parent array (``parent[source] ==
+    source``); ``parent_tgt`` is a reverse-SSSP parent array whose entries
+    point at the *next hop toward the target*.  Both subpaths include ``v``
+    itself.
+    """
+    n = parent_src.size
+    # backtrack s→v
+    if v != source and parent_src[v] < 0:
+        return None
+    src_path = [int(v)]
+    while src_path[-1] != source:
+        nxt = int(parent_src[src_path[-1]])
+        if nxt < 0 or len(src_path) > n:
+            return None
+        src_path.append(nxt)
+    src_path.reverse()
+    # walk v→t
+    if v != target and parent_tgt[v] < 0:
+        return None
+    tgt_path = [int(v)]
+    while tgt_path[-1] != target:
+        nxt = int(parent_tgt[tgt_path[-1]])
+        if nxt < 0 or len(tgt_path) > n:
+            return None
+        tgt_path.append(nxt)
+    return tuple(src_path), tuple(tgt_path)
+
+
+def validate_combined_path(
+    src_path: tuple[int, ...], tgt_path: tuple[int, ...]
+) -> tuple[bool, tuple[int, ...]]:
+    """Is the glued path simple?  Returns ``(valid, full_path)``.
+
+    ``v`` (the shared endpoint) appears once in the result.  The membership
+    test is the paper's hash-table strategy: build a set from the source
+    subpath, probe every target-subpath vertex in O(1).
+    """
+    seen = set(src_path)
+    for u in tgt_path[1:]:
+        if u in seen:
+            return False, src_path + tgt_path[1:]
+    return True, src_path + tgt_path[1:]

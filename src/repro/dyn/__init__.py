@@ -1,0 +1,5 @@
+"""Dynamic-graph baseline: a Terrace-like hierarchical container (Fig 12)."""
+
+from repro.dyn.terrace import TerraceGraph
+
+__all__ = ["TerraceGraph"]

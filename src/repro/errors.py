@@ -1,0 +1,44 @@
+"""Exception hierarchy for the PeeK reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge array is malformed (bad shape, dtype, header)."""
+
+
+class InvalidWeightError(ReproError):
+    """An edge weight violates the paper's precondition ``w > 0``.
+
+    PeeK (Definition 1) requires strictly positive weights; Dijkstra,
+    Δ-stepping, and the K-upper-bound argument are all unsound otherwise.
+    """
+
+
+class VertexError(ReproError, IndexError):
+    """A vertex id is out of range for the graph it was used with."""
+
+
+class UnreachableTargetError(ReproError):
+    """The target vertex is not reachable from the source vertex."""
+
+
+class KSPError(ReproError):
+    """A K-shortest-path query could not be satisfied as requested."""
+
+
+class PartitionError(ReproError):
+    """A distributed partition is inconsistent (overlap, gap, bad rank)."""
+
+
+class CommError(ReproError):
+    """Misuse of the simulated MPI communicator (bad rank, tag reuse...)."""

@@ -1,0 +1,19 @@
+"""Graph substrate: CSR storage, builders, generators, I/O, benchmark suite."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.build import (
+    from_edge_array,
+    from_edge_list,
+    from_networkx,
+    to_networkx,
+    assign_weights,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_array",
+    "from_edge_list",
+    "from_networkx",
+    "to_networkx",
+    "assign_weights",
+]

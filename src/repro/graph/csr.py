@@ -1,0 +1,302 @@
+"""Compressed-sparse-row (CSR) graph storage.
+
+This is the graph representation the whole library computes on, mirroring the
+paper's Figure 5: a ``beg_pos`` array (named ``indptr`` here, following the
+scipy convention) of length ``n + 1`` and an adjacency array ``indices`` of
+length ``m`` holding edge targets, plus a parallel ``weights`` array.
+
+Design notes (per the HPC-Python guides this repo follows):
+
+* All payload is held in contiguous NumPy arrays; per-vertex adjacency access
+  returns *views*, never copies.
+* The structure is immutable after construction.  Deletion is handled by the
+  compaction layer (:mod:`repro.core.compaction`) exactly as the paper does —
+  status arrays, edge swap on a copy, or regeneration — rather than by
+  mutating a shared graph.
+* The reverse graph (incoming edges) is built once on demand and cached,
+  because PeeK's K-upper-bound pruning always needs one reverse SSSP.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError, InvalidWeightError, VertexError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """A directed, positively-weighted graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64[n + 1]`` — ``indices[indptr[v]:indptr[v+1]]`` are the
+        out-neighbours of vertex ``v``.  ``indptr[0] == 0`` and
+        ``indptr[n] == m``.
+    indices:
+        ``int64[m]`` — edge target vertices.
+    weights:
+        ``float64[m]`` — strictly positive edge weights, parallel to
+        ``indices``.
+    check:
+        Validate the invariants (monotone indptr, in-range targets, positive
+        weights).  Costs O(n + m); disable only on hot internal paths that
+        construct guaranteed-valid CSRs (e.g. regeneration compaction).
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "_reverse", "_edge_index")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self._reverse: "CSRGraph | None" = None
+        self._edge_index: dict[tuple[int, int], float] | None = None
+        if check:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # construction / validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or self.indptr.size < 1:
+            raise GraphFormatError("indptr must be a 1-D array of length n + 1")
+        if self.indptr[0] != 0:
+            raise GraphFormatError("indptr[0] must be 0")
+        if self.indices.ndim != 1 or self.weights.ndim != 1:
+            raise GraphFormatError("indices and weights must be 1-D arrays")
+        if self.indices.size != self.weights.size:
+            raise GraphFormatError(
+                f"indices ({self.indices.size}) and weights ({self.weights.size}) "
+                "must have the same length"
+            )
+        if int(self.indptr[-1]) != self.indices.size:
+            raise GraphFormatError(
+                f"indptr[-1] ({int(self.indptr[-1])}) must equal the edge count "
+                f"({self.indices.size})"
+            )
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        n = self.num_vertices
+        if self.indices.size and (
+            int(self.indices.min()) < 0 or int(self.indices.max()) >= n
+        ):
+            raise GraphFormatError("edge target out of range [0, n)")
+        if self.weights.size and (
+            not np.all(np.isfinite(self.weights)) or float(self.weights.min()) <= 0.0
+        ):
+            raise InvalidWeightError(
+                "all edge weights must be finite and strictly positive "
+                "(paper Definition 1)"
+            )
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m`` (parallel edges each count once)."""
+        return int(self.indices.size)
+
+    # Aliases matching the paper's notation.
+    n = num_vertices
+    m = num_edges
+
+    # ------------------------------------------------------------------
+    # adjacency access
+    # ------------------------------------------------------------------
+    def adjacency_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        """The library's graph-traversal protocol.
+
+        Returns ``(begins, ends, indices, weights, edge_mask)``: vertex
+        ``v``'s live out-edges occupy positions ``[begins[v], ends[v])`` of
+        ``indices``/``weights``, further filtered by ``edge_mask`` when it is
+        not ``None``.  Every SSSP/KSP kernel traverses through this protocol,
+        which is what lets the three compaction strategies of
+        :mod:`repro.core.compaction` (status array, edge swap, regeneration)
+        plug into the same downstream computation — the heart of the paper's
+        Figure 6 comparison.
+        """
+        return self.indptr[:-1], self.indptr[1:], self.indices, self.weights, None
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(targets, weights)`` views of vertex ``v``'s out-edges."""
+        self._check_vertex(v)
+        lo, hi = int(self.indptr[v]), int(self.indptr[v + 1])
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def out_degree(self, v: int) -> int:
+        """Out-degree of vertex ``v``."""
+        self._check_vertex(v)
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """``int64[n]`` array of all out-degrees."""
+        return np.diff(self.indptr)
+
+    def edge_range(self, v: int) -> tuple[int, int]:
+        """``[begin, end)`` positions of ``v``'s edges in the edge arrays."""
+        self._check_vertex(v)
+        return int(self.indptr[v]), int(self.indptr[v + 1])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when a directed edge u→v exists."""
+        targets, _ = self.neighbors(u)
+        return bool(np.any(targets == v))
+
+    def edge_weight(self, u: int, v: int) -> float | None:
+        """Minimum weight among u→v edges, or ``None`` when absent.
+
+        Parallel edges are legal in this library; shortest-path algorithms
+        only ever care about the lightest one.
+        """
+        targets, weights = self.neighbors(u)
+        mask = targets == v
+        if not np.any(mask):
+            return None
+        return float(weights[mask].min())
+
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield every edge as ``(u, v, w)`` in CSR order."""
+        for u in range(self.num_vertices):
+            lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
+            for e in range(lo, hi):
+                yield u, int(self.indices[e]), float(self.weights[e])
+
+    def edge_sources(self) -> np.ndarray:
+        """``int64[m]`` array of edge source vertices (expanded indptr)."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+        )
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (every edge u→v becomes v→u). Cached.
+
+        Built with a counting sort over edge targets, O(n + m), no Python
+        loop over edges.
+        """
+        if self._reverse is None:
+            n, m = self.num_vertices, self.num_edges
+            counts = np.bincount(self.indices, minlength=n)
+            rindptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=rindptr[1:])
+            order = np.argsort(self.indices, kind="stable")
+            rindices = self.edge_sources()[order]
+            rweights = self.weights[order]
+            rev = CSRGraph(rindptr, rindices, rweights, check=False)
+            rev._reverse = self  # transpose of the transpose is this graph
+            self._reverse = rev
+        return self._reverse
+
+    def sorted_copy(self) -> "CSRGraph":
+        """A copy with each adjacency list sorted by (target, weight).
+
+        Canonical form used by structural-equality tests; algorithms never
+        require sorted adjacency.
+        """
+        indices = self.indices.copy()
+        weights = self.weights.copy()
+        for v in range(self.num_vertices):
+            lo, hi = int(self.indptr[v]), int(self.indptr[v + 1])
+            order = np.lexsort((weights[lo:hi], indices[lo:hi]))
+            indices[lo:hi] = indices[lo:hi][order]
+            weights[lo:hi] = weights[lo:hi][order]
+        return CSRGraph(self.indptr.copy(), indices, weights, check=False)
+
+    def structurally_equal(self, other: "CSRGraph") -> bool:
+        """True when both graphs have identical vertex/edge/weight sets.
+
+        Adjacency order within a vertex is ignored (it is an artefact of
+        construction order, not graph identity).
+        """
+        if self.num_vertices != other.num_vertices:
+            return False
+        if self.num_edges != other.num_edges:
+            return False
+        if not np.array_equal(self.indptr, other.indptr):
+            return False
+        a, b = self.sorted_copy(), other.sorted_copy()
+        return bool(
+            np.array_equal(a.indices, b.indices)
+            and np.allclose(a.weights, b.weights)
+        )
+
+    def induced_subgraph(
+        self, keep: np.ndarray
+    ) -> tuple["CSRGraph", np.ndarray, np.ndarray]:
+        """Regenerate a CSR over ``keep``-masked vertices.
+
+        Parameters
+        ----------
+        keep:
+            ``bool[n]`` mask of vertices to retain.  Edges survive only when
+            both endpoints are kept.
+
+        Returns
+        -------
+        (subgraph, new_id, old_id):
+            ``new_id[v]`` maps an original vertex to its id in the subgraph
+            (``-1`` when dropped); ``old_id`` is the inverse map.
+
+        This is the same renumbering the regeneration-based compaction does;
+        the compaction layer wraps it with instrumentation.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.size != self.num_vertices:
+            raise GraphFormatError("keep mask length must equal num_vertices")
+        old_id = np.flatnonzero(keep).astype(np.int64)
+        new_id = np.full(self.num_vertices, -1, dtype=np.int64)
+        new_id[old_id] = np.arange(old_id.size, dtype=np.int64)
+
+        src = self.edge_sources()
+        edge_keep = keep[src] & keep[self.indices]
+        new_src = new_id[src[edge_keep]]
+        new_dst = new_id[self.indices[edge_keep]]
+        new_w = self.weights[edge_keep]
+
+        counts = np.bincount(new_src, minlength=old_id.size)
+        indptr = np.zeros(old_id.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # new_src is already non-decreasing because edge_sources is, so the
+        # filtered edges are already grouped by source: no sort needed.
+        sub = CSRGraph(indptr, new_dst, new_w, check=False)
+        return sub, new_id, old_id
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Approximate payload size in bytes (the three CSR arrays)."""
+        return int(
+            self.indptr.nbytes + self.indices.nbytes + self.weights.nbytes
+        )
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise VertexError(
+                f"vertex {v} out of range [0, {self.num_vertices})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"{self.memory_bytes() / 1e6:.2f} MB)"
+        )

@@ -1,0 +1,251 @@
+"""Synthetic graph generators for the benchmark suite.
+
+The paper's eight graphs (Table 1) fall into four structural families.  Each
+generator below reproduces one family at laptop scale:
+
+* :func:`rmat` — Graph500-style recursive matrix graphs (R21/R21U).
+* :func:`preferential_attachment` — skewed social networks (LJ/LJU, GT).
+* :func:`copying_model` — web/article-link graphs with copied link lists
+  (GW, WL/WLU).
+* :func:`grid_network` — meshes for the routing examples and sanity tests.
+* :func:`erdos_renyi` / :func:`random_dag` — uniform structure for tests.
+
+All generators are deterministic given ``seed`` and return a
+:class:`~repro.graph.csr.CSRGraph` with the requested weight scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import assign_weights, from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "rmat",
+    "preferential_attachment",
+    "copying_model",
+    "erdos_renyi",
+    "grid_network",
+    "random_dag",
+]
+
+
+def _finish(
+    n: int, src: np.ndarray, dst: np.ndarray, weight_scheme: str, seed: int
+) -> CSRGraph:
+    graph = from_edge_array(n, src, dst, 1.0)
+    return assign_weights(graph, weight_scheme, seed=seed + 0x5EED)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    weight_scheme: str = "random",
+    seed: int = 0,
+) -> CSRGraph:
+    """Recursive-matrix (R-MAT) graph, the Graph500 generator family.
+
+    ``n = 2**scale`` vertices and ``edge_factor * n`` edge draws (self loops
+    and duplicates removed afterwards, as in the reference generator).  The
+    default ``(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`` quadrant probabilities
+    are the Graph500 values and produce the skewed degree distribution the
+    paper's R21 graph exhibits.
+
+    The bit-by-bit quadrant choice is fully vectorised: one ``(m, scale)``
+    uniform matrix decides every bit of every endpoint at once.
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("quadrant probabilities must satisfy 0 < a+b+c < 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    u = rng.random((m, scale))
+    # P(src bit = 1) = c + d, independent of the dst bit at this level under
+    # the standard noise-free RMAT factorisation.
+    src_bit = u > (a + b)
+    # P(dst bit = 1 | src bit) differs per quadrant row.
+    v = rng.random((m, scale))
+    p_dst_given0 = b / (a + b)
+    d = 1.0 - a - b - c
+    p_dst_given1 = d / (c + d)
+    dst_bit = np.where(src_bit, v < p_dst_given1, v < p_dst_given0)
+    powers = 1 << np.arange(scale, dtype=np.int64)
+    src = (src_bit * powers).sum(axis=1).astype(np.int64)
+    dst = (dst_bit * powers).sum(axis=1).astype(np.int64)
+    return _finish(n, src, dst, weight_scheme, seed)
+
+
+def preferential_attachment(
+    n: int,
+    out_degree: int = 8,
+    *,
+    weight_scheme: str = "random",
+    seed: int = 0,
+) -> CSRGraph:
+    """Directed preferential-attachment graph (social-network analogue).
+
+    Every new vertex draws ``out_degree`` targets with probability
+    proportional to in-degree-plus-one, then the reverse of a fraction of
+    those edges is added too (social ties are often reciprocated), giving
+    the skewed in-degree and non-trivial SCC structure of LiveJournal /
+    Twitter-style graphs.
+    """
+    if n < 2:
+        raise ValueError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    # Endpoint pool implements proportional-to-degree sampling: each edge
+    # contributes its target once, and every vertex appears once for the
+    # "+1" smoothing term.  Preallocated with a fill pointer — appending
+    # by concatenation would be O(n·m) and unusable at medium scale.
+    pool = np.empty(n * (out_degree + 1) + out_degree, dtype=np.int64)
+    fill = min(out_degree, n)
+    pool[:fill] = np.arange(fill, dtype=np.int64)
+    for v in range(1, n):
+        k = min(out_degree, v)
+        picks = pool[rng.integers(0, fill, size=k)]
+        picks = picks[picks != v]
+        srcs.append(np.full(picks.size, v, dtype=np.int64))
+        dsts.append(picks)
+        # 30% reciprocation
+        mask = rng.random(picks.size) < 0.3
+        srcs.append(picks[mask])
+        dsts.append(np.full(int(mask.sum()), v, dtype=np.int64))
+        pool[fill : fill + picks.size] = picks
+        pool[fill + picks.size] = v
+        fill += picks.size + 1
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    return _finish(n, src, dst, weight_scheme, seed)
+
+
+def copying_model(
+    n: int,
+    out_degree: int = 8,
+    *,
+    copy_prob: float = 0.7,
+    reciprocal_prob: float = 0.15,
+    weight_scheme: str = "random",
+    seed: int = 0,
+) -> CSRGraph:
+    """Kleinberg copying-model graph (web-crawl analogue).
+
+    Each new page picks a random "prototype" page and, per out-link slot,
+    copies the prototype's corresponding link with probability ``copy_prob``
+    or links to a uniformly random earlier page otherwise.  This yields the
+    dense bipartite-core, high-clustering structure of web graphs like
+    GAP-web.
+
+    Pure copying only produces links to *earlier* pages — a DAG — whereas
+    real web/article graphs are cyclic (pages get edited to link forward).
+    ``reciprocal_prob`` flips that fraction of links back, restoring cycles
+    and the non-trivial search space shortest-path queries see on real
+    crawls.
+    """
+    if not 0 <= copy_prob <= 1:
+        raise ValueError("copy_prob must be in [0, 1]")
+    if not 0 <= reciprocal_prob <= 1:
+        raise ValueError("reciprocal_prob must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    adj: list[np.ndarray] = [np.empty(0, dtype=np.int64)]
+    seed_size = min(out_degree + 1, n)
+    for v in range(1, seed_size):
+        adj.append(np.arange(v, dtype=np.int64))
+    for v in range(seed_size, n):
+        proto = int(rng.integers(0, v))
+        proto_links = adj[proto]
+        links = rng.integers(0, v, size=out_degree).astype(np.int64)
+        if proto_links.size:
+            copy_mask = rng.random(out_degree) < copy_prob
+            copied = proto_links[
+                rng.integers(0, proto_links.size, size=out_degree)
+            ]
+            links = np.where(copy_mask, copied, links)
+        links = links[links != v]
+        adj.append(np.unique(links))
+    src = np.concatenate(
+        [np.full(a.size, v, dtype=np.int64) for v, a in enumerate(adj)]
+    )
+    dst = np.concatenate(adj) if adj else np.empty(0, dtype=np.int64)
+    if reciprocal_prob > 0 and src.size:
+        back = rng.random(src.size) < reciprocal_prob
+        rev_src, rev_dst = dst[back], src[back]
+        src = np.concatenate([src, rev_src])
+        dst = np.concatenate([dst, rev_dst])
+    return _finish(n, src, dst, weight_scheme, seed)
+
+
+def erdos_renyi(
+    n: int,
+    avg_degree: float = 8.0,
+    *,
+    weight_scheme: str = "random",
+    seed: int = 0,
+) -> CSRGraph:
+    """Uniform random directed graph with ``avg_degree * n`` edge draws."""
+    rng = np.random.default_rng(seed)
+    m = int(round(avg_degree * n))
+    src = rng.integers(0, n, size=m).astype(np.int64)
+    dst = rng.integers(0, n, size=m).astype(np.int64)
+    return _finish(n, src, dst, weight_scheme, seed)
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    *,
+    bidirectional: bool = True,
+    diagonal_prob: float = 0.0,
+    weight_scheme: str = "random",
+    seed: int = 0,
+) -> CSRGraph:
+    """A ``rows × cols`` lattice — the road-network/mesh analogue.
+
+    Vertex ``(r, c)`` is id ``r * cols + c``.  4-neighbour edges always
+    exist; diagonal shortcuts are added with probability ``diagonal_prob``.
+    Unlike the scale-free generators, grids have large diameter, which
+    exercises the Δ-stepping bucket machinery with many phases.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must be at least 1x1")
+    rng = np.random.default_rng(seed)
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    srcs = [ids[:, :-1].ravel(), ids[:-1, :].ravel()]
+    dsts = [ids[:, 1:].ravel(), ids[1:, :].ravel()]
+    if diagonal_prob > 0:
+        diag_src = ids[:-1, :-1].ravel()
+        diag_dst = ids[1:, 1:].ravel()
+        mask = rng.random(diag_src.size) < diagonal_prob
+        srcs.append(diag_src[mask])
+        dsts.append(diag_dst[mask])
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    if bidirectional:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return _finish(rows * cols, src, dst, weight_scheme, seed)
+
+
+def random_dag(
+    n: int,
+    avg_degree: float = 4.0,
+    *,
+    weight_scheme: str = "random",
+    seed: int = 0,
+) -> CSRGraph:
+    """Random DAG (edges only go from lower to higher id).
+
+    Used by the vulnerability-detection example (control-flow graphs are
+    close to DAGs) and by tests that need guaranteed acyclicity.
+    """
+    rng = np.random.default_rng(seed)
+    m = int(round(avg_degree * n))
+    a = rng.integers(0, n, size=m).astype(np.int64)
+    b = rng.integers(0, n, size=m).astype(np.int64)
+    src, dst = np.minimum(a, b), np.maximum(a, b)
+    return _finish(n, src, dst, weight_scheme, seed)

@@ -1,0 +1,103 @@
+"""Graph metrics used by reports and sanity checks.
+
+The suite generators claim to reproduce structural *families* (DESIGN.md
+§1); these metrics are how the tests and EXPERIMENTS.md substantiate that:
+degree skew, reachability mass, weight statistics, and an approximate
+effective diameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sssp.dijkstra import dijkstra
+
+__all__ = ["GraphSummary", "summarize", "degree_gini", "reachable_fraction"]
+
+
+def degree_gini(graph: CSRGraph) -> float:
+    """Gini coefficient of the total (in + out) degree distribution.
+
+    Total degree, because several generator families (preferential
+    attachment above all) are skewed on the *in* side while out-degrees
+    stay near-constant.  ~0.2–0.3 for Erdős–Rényi/grids, noticeably higher
+    for the scale-free families the paper's benchmark graphs belong to —
+    the one-number test that a generator produced realistic skew.
+    """
+    total = graph.out_degrees() + np.bincount(
+        graph.indices, minlength=graph.num_vertices
+    )
+    degs = np.sort(total.astype(np.float64))
+    n = degs.size
+    if n == 0 or degs.sum() == 0:
+        return 0.0
+    cum = np.cumsum(degs)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def reachable_fraction(graph: CSRGraph, source: int = 0) -> float:
+    """Fraction of vertices reachable from ``source``."""
+    res = dijkstra(graph, source)
+    return res.num_reached() / max(graph.num_vertices, 1)
+
+
+def _sample_hop_diameter(graph: CSRGraph, samples: int, seed: int) -> float:
+    """90th-percentile finite hop distance over sampled sources (approx.
+    effective diameter, the standard scaled-down metric)."""
+    rng = np.random.default_rng(seed)
+    hops: list[int] = []
+    n = graph.num_vertices
+    unit = CSRGraph(
+        graph.indptr, graph.indices, np.ones(graph.num_edges), check=False
+    )
+    for _ in range(samples):
+        s = int(rng.integers(0, n))
+        res = dijkstra(unit, s)
+        finite = res.dist[np.isfinite(res.dist)]
+        if finite.size > 1:
+            hops.append(int(np.percentile(finite, 90)))
+    return float(np.mean(hops)) if hops else float("nan")
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One row of the suite-characterisation table."""
+
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_out_degree: int
+    degree_gini: float
+    weight_min: float
+    weight_max: float
+    effective_diameter: float
+
+    def row(self) -> list:
+        return [
+            self.num_vertices,
+            self.num_edges,
+            self.avg_degree,
+            self.max_out_degree,
+            self.degree_gini,
+            self.weight_min,
+            self.weight_max,
+            self.effective_diameter,
+        ]
+
+
+def summarize(graph: CSRGraph, *, diameter_samples: int = 4, seed: int = 0) -> GraphSummary:
+    """Compute the characterisation row for one graph."""
+    degs = graph.out_degrees()
+    return GraphSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        avg_degree=float(graph.num_edges / max(graph.num_vertices, 1)),
+        max_out_degree=int(degs.max()) if degs.size else 0,
+        degree_gini=degree_gini(graph),
+        weight_min=float(graph.weights.min()) if graph.num_edges else 0.0,
+        weight_max=float(graph.weights.max()) if graph.num_edges else 0.0,
+        effective_diameter=_sample_hop_diameter(graph, diameter_samples, seed),
+    )

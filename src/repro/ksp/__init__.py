@@ -1,0 +1,62 @@
+"""K-shortest-simple-path algorithms.
+
+All five comparison algorithms from the paper (§7) plus the two extensions
+its introduction and related-work sections describe:
+
+* :class:`~repro.ksp.yen.YenKSP` — Yen 1971, the foundational algorithm.
+* :class:`~repro.ksp.node_classification.NodeClassificationKSP` — NC,
+  Feng 2014 (reverse SP tree + red/yellow/green vertex colours).
+* :class:`~repro.ksp.optyen.OptYenKSP` — Ajwani et al. 2018, the
+  state-of-the-art parallel baseline (one static reverse tree,
+  express/repair candidate generation).
+* :class:`~repro.ksp.sidetrack.SidetrackKSP` — SB, Kurz–Mutzel 2016
+  (cached per-prefix reverse SP trees).
+* :class:`~repro.ksp.sidetrack_star.SidetrackStarKSP` — SB*, Al Zoobi et
+  al. (resumable-SSSP tree reuse), the state-of-the-art serial baseline.
+* :class:`~repro.ksp.pnc.PostponedNCKSP` — PNC (§8): postpone repairs
+  until a non-simple candidate is actually extracted.
+* :func:`~repro.ksp.grouped.shortest_k_groups` — GQL's ``SHORTEST k GROUP``.
+
+Every algorithm shares the deviation framework in :mod:`repro.ksp.base` and
+returns identical results (tested property); they differ in how a deviation's
+shortest suffix is found, which is exactly where their performance diverges.
+"""
+
+from repro.ksp.base import KSPResult, KSPStats, KSPAlgorithm
+from repro.ksp.yen import YenKSP, yen_ksp
+from repro.ksp.node_classification import NodeClassificationKSP, nc_ksp
+from repro.ksp.optyen import OptYenKSP, optyen_ksp
+from repro.ksp.sidetrack import SidetrackKSP, sb_ksp
+from repro.ksp.sidetrack_star import SidetrackStarKSP, sb_star_ksp
+from repro.ksp.pnc import PostponedNCKSP, pnc_ksp
+from repro.ksp.psb import PSBKSP, PSBv2KSP, PSBv3KSP, psb_ksp
+from repro.ksp.kwalks import k_shortest_walks
+from repro.ksp.grouped import shortest_k_groups, PathGroup
+from repro.ksp.registry import ALGORITHMS, make_algorithm
+
+__all__ = [
+    "KSPResult",
+    "KSPStats",
+    "KSPAlgorithm",
+    "YenKSP",
+    "yen_ksp",
+    "NodeClassificationKSP",
+    "nc_ksp",
+    "OptYenKSP",
+    "optyen_ksp",
+    "SidetrackKSP",
+    "sb_ksp",
+    "SidetrackStarKSP",
+    "sb_star_ksp",
+    "PostponedNCKSP",
+    "pnc_ksp",
+    "PSBKSP",
+    "PSBv2KSP",
+    "PSBv3KSP",
+    "psb_ksp",
+    "k_shortest_walks",
+    "shortest_k_groups",
+    "PathGroup",
+    "ALGORITHMS",
+    "make_algorithm",
+]

@@ -1,0 +1,89 @@
+"""K shortest *walks* — the non-simple relaxation of KSP (extension).
+
+Eppstein's classic algorithm (the paper's ref [23]) solves a different
+problem from PeeK: the K shortest *walks*, which may revisit vertices.
+Walks are much cheaper to enumerate than simple paths — no deviation
+machinery is needed — and some applications (latency estimation, random
+walk analysis) genuinely want them, so the library ships this variant for
+completeness and as a lower-bound oracle: the i-th shortest walk is never
+longer than the i-th shortest simple path, which the test suite exploits.
+
+The implementation is the standard k-label Dijkstra: a vertex may be
+settled up to K times; the j-th settlement of the target yields the j-th
+shortest walk.  O(K·m·log(K·n)) time, no per-vertex colour or tree state.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import VertexError
+from repro.ksp.base import KSPResult, KSPStats
+from repro.paths import Path
+
+__all__ = ["k_shortest_walks"]
+
+
+def k_shortest_walks(
+    graph,
+    source: int,
+    target: int,
+    k: int,
+    *,
+    max_hops: int | None = None,
+) -> KSPResult:
+    """The K shortest (possibly non-simple) s→t walks.
+
+    Parameters
+    ----------
+    max_hops:
+        Optional cap on walk length in edges, defaulting to ``2n`` — walks
+        longer than that cannot be among the K shortest for any K ≤ n on
+        positively-weighted graphs of interest, and the cap guards against
+        pathological K on tiny cycles.
+
+    Returns
+    -------
+    KSPResult
+        Paths in non-decreasing distance; ``is_simple()`` may be False.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise VertexError(f"source {source} out of range [0, {n})")
+    if not 0 <= target < n:
+        raise VertexError(f"target {target} out of range [0, {n})")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if max_hops is None:
+        max_hops = 2 * n
+
+    stats = KSPStats()
+    begins, ends, indices, weights, edge_mask = graph.adjacency_arrays()
+
+    settled_count = [0] * n
+    paths: list[Path] = []
+    # heap entries: (distance, hops, vertices as tuple)
+    heap: list[tuple[float, int, tuple[int, ...]]] = [(0.0, 0, (source,))]
+    while heap and len(paths) < k:
+        d, hops, verts = heapq.heappop(heap)
+        u = verts[-1]
+        if settled_count[u] >= k:
+            continue
+        settled_count[u] += 1
+        stats.vertices_settled += 1
+        if u == target:
+            paths.append(Path(distance=d, vertices=verts))
+            # do NOT stop expanding: longer walks may pass through the
+            # target and return (they are still s→t walks)
+        if hops >= max_hops:
+            continue
+        lo, hi = begins[u], ends[u]
+        for e in range(lo, hi):
+            if edge_mask is not None and not edge_mask[e]:
+                continue
+            v = indices[e]
+            if settled_count[v] >= k:
+                continue
+            stats.edges_relaxed += 1
+            heapq.heappush(heap, (d + weights[e], hops + 1, verts + (int(v),)))
+    return KSPResult(paths=paths, k_requested=k, stats=stats)

@@ -1,0 +1,119 @@
+"""OptYen (Ajwani, Duriakova, Hurley, Meyer, Schickedanz — ICPP 2018).
+
+The state-of-the-art *parallel* baseline of the paper.  OptYen keeps exactly
+one **static** reverse shortest-path tree rooted at the target (computed once
+up front) and uses it for an *express* candidate at each deviation vertex:
+
+1. among the deviation vertex's allowed out-neighbours ``w``, pick
+   ``w* = argmin  w(v,w) + distTgt[w]`` — a lower bound on any allowed
+   suffix, because ``distTgt`` is the unconstrained shortest distance;
+2. if ``w*``'s tree path to the target is *clean* (touches no banned vertex,
+   does not revisit the deviation vertex or prefix), it achieves the lower
+   bound and is therefore the optimal suffix — no SSSP needed;
+3. otherwise *repair* with a fresh Dijkstra, exactly like Yen.
+
+Unlike NC, nothing is ever updated: the tree is computed once, which is what
+makes OptYen parallel-friendly (the paper's §1.1 observation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UnreachableTargetError
+from repro.ksp.base import DeviationKSP, KSPResult
+from repro.paths import INF
+from repro.sssp.dijkstra import dijkstra
+
+__all__ = ["OptYenKSP", "optyen_ksp"]
+
+
+class OptYenKSP(DeviationKSP):
+    """OptYen: static reverse SP tree, express-or-repair suffix search."""
+
+    name = "OptYen"
+    lawler_default = True
+
+    def _prepare(self) -> None:
+        rev = dijkstra(self.graph.reverse(), self.target)
+        self.stats.init_work += self.stats.add_sssp(rev.stats)
+        #: dist_tgt[v] = shortest v→target distance in the *full* graph
+        self.dist_tgt = rev.dist
+        #: next_hop[v] = next vertex on v's tree path toward the target
+        self.next_hop = rev.parent
+        if not np.isfinite(self.dist_tgt[self.source]):
+            raise UnreachableTargetError(
+                f"target {self.target} unreachable from {self.source}"
+            )
+
+    def _first_path(self):
+        # The reverse tree already encodes the shortest path — walk it
+        # instead of running another SSSP.
+        from repro.paths import Path, reconstruct_reverse_path
+
+        verts = reconstruct_reverse_path(self.next_hop, self.source, self.target)
+        assert verts is not None
+        return Path(
+            distance=float(self.dist_tgt[self.source]), vertices=tuple(verts)
+        )
+
+    # ------------------------------------------------------------------
+    def _best_first_hop(
+        self, dev_vertex, banned_vertices, banned_edges
+    ) -> tuple[int, float] | None:
+        """``(w*, bound)`` minimising ``w(v,w) + distTgt[w]`` over allowed w."""
+        targets, weights = self.graph.neighbors(dev_vertex)
+        best_w, best_val = -1, INF
+        dist_tgt = self.dist_tgt
+        for w, wt in zip(targets.tolist(), weights.tolist()):
+            if w in banned_vertices:
+                continue
+            if (dev_vertex, w) in banned_edges:
+                continue
+            val = wt + dist_tgt[w]
+            if val < best_val or (val == best_val and w < best_w):
+                best_w, best_val = w, val
+        if best_w < 0 or not np.isfinite(best_val):
+            return None
+        return best_w, float(best_val)
+
+    def _tree_suffix(
+        self, dev_vertex, first_hop, banned_vertices
+    ) -> tuple[int, ...] | None:
+        """Walk the static tree from ``first_hop``; None when dirty.
+
+        Dirty means: a banned (prefix) vertex, the deviation vertex itself,
+        or ``first_hop`` again appears on the tree path — the concatenated
+        candidate would not be simple.
+        """
+        path = [dev_vertex, first_hop]
+        u = first_hop
+        next_hop = self.next_hop
+        while u != self.target:
+            u = int(next_hop[u])
+            if u < 0:
+                return None  # detached from tree (possible on masked views)
+            if u in banned_vertices or u == dev_vertex or u == first_hop:
+                return None
+            path.append(u)
+        return tuple(path)
+
+    def _find_suffix(self, dev_vertex, banned_vertices, banned_edges, prefix):
+        hop = self._best_first_hop(dev_vertex, banned_vertices, banned_edges)
+        if hop is None:
+            # No allowed first hop can reach the target even in the full
+            # graph — no suffix exists, skip the SSSP entirely.
+            self._log_task(1)
+            return None
+        w_star, bound = hop
+        suffix = self._tree_suffix(dev_vertex, w_star, banned_vertices)
+        if suffix is not None:
+            self.stats.express_hits += 1
+            self._log_task(len(suffix))
+            return bound, suffix, True
+        return self._dijkstra_suffix(dev_vertex, banned_vertices, banned_edges)
+
+
+def optyen_ksp(graph, source: int, target: int, k: int, **kwargs) -> KSPResult:
+    """Convenience wrapper: ``OptYenKSP(graph, s, t, **kw).run(k)``."""
+    return OptYenKSP(graph, source, target, **kwargs).run(k)

@@ -1,0 +1,56 @@
+"""Name → algorithm registry used by the benchmark harness and CLI.
+
+The names match the paper's tables exactly ("Yen", "NC", "OptYen", "SB",
+"SB*", "PeeK") so benchmark output reads like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ksp.node_classification import NodeClassificationKSP
+from repro.ksp.optyen import OptYenKSP
+from repro.ksp.pnc import PostponedNCKSP
+from repro.ksp.psb import PSBKSP, PSBv2KSP, PSBv3KSP
+from repro.ksp.sidetrack import SidetrackKSP
+from repro.ksp.sidetrack_star import SidetrackStarKSP
+from repro.ksp.yen import YenKSP
+
+__all__ = ["ALGORITHMS", "make_algorithm"]
+
+
+def _peek_factory(graph, source, target, **kwargs):
+    # Imported lazily: repro.core depends on repro.ksp, not vice versa.
+    from repro.core.peek import PeeK
+
+    return PeeK(graph, source, target, **kwargs)
+
+
+#: Every benchmarkable KSP algorithm, keyed by its table name.
+ALGORITHMS: dict[str, Callable] = {
+    "Yen": YenKSP,
+    "NC": NodeClassificationKSP,
+    "OptYen": OptYenKSP,
+    "SB": SidetrackKSP,
+    "SB*": SidetrackStarKSP,
+    "PNC": PostponedNCKSP,
+    "PSB": PSBKSP,
+    "PSB-v2": PSBv2KSP,
+    "PSB-v3": PSBv3KSP,
+    "PeeK": _peek_factory,
+}
+
+
+def make_algorithm(name: str, graph, source: int, target: int, **kwargs):
+    """Instantiate algorithm ``name`` for one s→t query.
+
+    ``kwargs`` are forwarded (``deadline``, ``lawler``, and for PeeK the
+    pruning/compaction flags).
+    """
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return factory(graph, source, target, **kwargs)

@@ -1,0 +1,36 @@
+"""SB* — sidetrack-based KSP with resumable-SSSP tree reuse.
+
+Al Zoobi, Coudert & Nisse's improvement over SB, and the paper's
+state-of-the-art *serial* baseline: instead of materialising each reverse
+shortest-path tree completely when a new removal set appears, SB* keeps
+each tree's Dijkstra **paused** and resumes it only far enough to answer the
+current deviation's ``distance_to(w)`` queries (see
+:class:`~repro.sssp.lazy_dijkstra.LazyDijkstra`).
+
+Deviation queries only ever need the distances of the deviation vertex's
+immediate neighbours, which sit close to the target's distance frontier on
+most candidate paths, so the resumed searches settle a small fraction of the
+graph — that is the entire speed advantage over SB.  The price is keeping
+paused heap state alive per tree: "it costs even more space to record the
+status of the previously computed SSSPs" (§1.1), visible in
+``stats.peak_tree_bytes``.
+"""
+
+from __future__ import annotations
+
+from repro.ksp.base import KSPResult
+from repro.ksp.sidetrack import SidetrackKSP
+
+__all__ = ["SidetrackStarKSP", "sb_star_ksp"]
+
+
+class SidetrackStarKSP(SidetrackKSP):
+    """SB*: identical deviation logic to SB, lazily-resumed trees."""
+
+    name = "SB*"
+    eager_trees = False
+
+
+def sb_star_ksp(graph, source: int, target: int, k: int, **kwargs) -> KSPResult:
+    """Convenience wrapper: ``SidetrackStarKSP(graph, s, t, **kw).run(k)``."""
+    return SidetrackStarKSP(graph, source, target, **kwargs).run(k)

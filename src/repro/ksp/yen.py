@@ -1,0 +1,32 @@
+"""Yen's algorithm (Yen 1971) — Algorithm 1 of the paper.
+
+Every deviation runs a fresh target-stopped Dijkstra on the graph with the
+prefix vertices and the used deviation edges removed.  O(Kn(m + n log n));
+this is the baseline everything else beats.
+"""
+
+from __future__ import annotations
+
+from repro.ksp.base import DeviationKSP, KSPResult
+
+__all__ = ["YenKSP", "yen_ksp"]
+
+
+class YenKSP(DeviationKSP):
+    """Classic Yen: one SSSP per deviation vertex, no auxiliary structures.
+
+    ``lawler=True`` enables Lawler's 1972 refinement (skip deviation indices
+    before the parent's own deviation point); the paper's Yen baseline runs
+    without it, so that is the default here.
+    """
+
+    name = "Yen"
+    lawler_default = False
+
+    def _find_suffix(self, dev_vertex, banned_vertices, banned_edges, prefix):
+        return self._dijkstra_suffix(dev_vertex, banned_vertices, banned_edges)
+
+
+def yen_ksp(graph, source: int, target: int, k: int, **kwargs) -> KSPResult:
+    """Convenience wrapper: ``YenKSP(graph, s, t, **kw).run(k)``."""
+    return YenKSP(graph, source, target, **kwargs).run(k)

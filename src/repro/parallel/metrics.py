@@ -1,0 +1,58 @@
+"""Metrics: calibration to wall-clock, GTEPS, speedup curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.scheduler import MachineModel, simulate
+from repro.parallel.workload import Workload
+
+__all__ = ["Calibration", "calibrate", "gteps", "speedup_curve"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Work-unit → seconds conversion anchored to a real measurement.
+
+    ``tau`` is seconds per abstract work unit, obtained by dividing a real
+    measured single-thread wall-clock time by the workload's total work.
+    Every simulated parallel time in the benchmark reports is
+    ``tau * simulated_units`` — the simulator only ever *redistributes*
+    measured work, it never invents time.
+    """
+
+    tau: float
+
+    def seconds(self, time_units: float) -> float:
+        return self.tau * time_units
+
+
+def calibrate(workload: Workload, measured_serial_seconds: float) -> Calibration:
+    """Anchor the simulator: measured 1-thread seconds / serial work units."""
+    units = max(workload.serial_time_units(), 1)
+    return Calibration(tau=measured_serial_seconds / units)
+
+
+def gteps(edges_traversed: int, seconds: float) -> float:
+    """Giga-traversed-edges per second — the paper's Figure 10 metric."""
+    if seconds <= 0:
+        return 0.0
+    return edges_traversed / seconds / 1e9
+
+
+def speedup_curve(
+    workload: Workload,
+    thread_counts: list[int],
+    model: MachineModel | None = None,
+) -> dict[int, float]:
+    """Simulated speedup over 1 thread for each requested thread count.
+
+    This matches how the paper computes Figure 9: runtime at 1 thread
+    divided by runtime at p threads, same machine, same workload.
+    """
+    base = simulate(workload, 1, model).time_units
+    out: dict[int, float] = {}
+    for p in thread_counts:
+        t = simulate(workload, p, model).time_units
+        out[p] = base / t if t > 0 else float("inf")
+    return out

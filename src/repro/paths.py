@@ -1,0 +1,157 @@
+"""Path objects and helpers shared by every KSP algorithm in the library.
+
+A *path* is an ordered vertex sequence; a *simple* path visits no vertex
+twice.  All KSP algorithms in :mod:`repro.ksp` and :mod:`repro.core` return
+:class:`Path` instances sorted by ``(distance, vertices)`` so results are
+deterministic and directly comparable across algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Path",
+    "reconstruct_path",
+    "reconstruct_reverse_path",
+    "is_simple",
+    "path_distance",
+    "INF",
+]
+
+#: Distance value used for unreachable vertices throughout the library.
+INF = float("inf")
+
+
+@dataclass(frozen=True, order=True)
+class Path:
+    """An s→t path with its total weight.
+
+    Ordering is ``(distance, vertices)`` which gives every KSP algorithm the
+    same deterministic tie-break, so cross-algorithm tests can compare result
+    lists directly instead of multisets.
+
+    Attributes
+    ----------
+    distance:
+        Sum of edge weights along the path.
+    vertices:
+        The vertex sequence, source first, target last.
+    """
+
+    distance: float
+    vertices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) == 0:
+            raise ValueError("a Path must contain at least one vertex")
+
+    @property
+    def source(self) -> int:
+        """First vertex of the path."""
+        return self.vertices[0]
+
+    @property
+    def target(self) -> int:
+        """Last vertex of the path."""
+        return self.vertices[-1]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges on the path (``len(vertices) - 1``)."""
+        return len(self.vertices) - 1
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Return the path as a list of ``(u, v)`` edge tuples."""
+        v = self.vertices
+        return [(v[i], v[i + 1]) for i in range(len(v) - 1)]
+
+    def is_simple(self) -> bool:
+        """True when no vertex repeats (the KSP "loopless" condition)."""
+        return len(set(self.vertices)) == len(self.vertices)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        verts = "→".join(str(v) for v in self.vertices)
+        return f"Path({self.distance:.6g}: {verts})"
+
+
+def is_simple(vertices: Sequence[int]) -> bool:
+    """Return True when ``vertices`` contains no duplicates."""
+    return len(set(vertices)) == len(vertices)
+
+
+def path_distance(vertices: Sequence[int], graph) -> float:
+    """Recompute the weight of ``vertices`` on ``graph``.
+
+    Used by tests to validate that an algorithm's reported distance matches
+    the edges it claims to traverse.  Raises :class:`KeyError` if an edge on
+    the path does not exist in the graph.
+    """
+    total = 0.0
+    for u, v in zip(vertices[:-1], vertices[1:]):
+        w = graph.edge_weight(u, v)
+        if w is None:
+            raise KeyError(f"edge {u}->{v} not present in graph")
+        total += w
+    return total
+
+
+def reconstruct_path(parent: np.ndarray, source: int, vertex: int) -> list[int] | None:
+    """Walk a forward-SSSP ``parent`` array from ``vertex`` back to ``source``.
+
+    ``parent[source]`` must be ``source`` itself (the library convention) and
+    unreached vertices must hold ``-1``.  Returns the vertex list
+    ``[source, ..., vertex]`` or ``None`` when ``vertex`` was not reached.
+    """
+    if parent[vertex] < 0 and vertex != source:
+        return None
+    out = [int(vertex)]
+    limit = len(parent) + 1  # cycle guard: a parent chain longer than n is corrupt
+    while out[-1] != source:
+        out.append(int(parent[out[-1]]))
+        if len(out) > limit:
+            raise RuntimeError("parent array contains a cycle")
+    out.reverse()
+    return out
+
+
+def reconstruct_reverse_path(parent: np.ndarray, vertex: int, target: int) -> list[int] | None:
+    """Walk a reverse-SSSP ``parent`` array from ``vertex`` forward to ``target``.
+
+    For a reverse SSSP rooted at ``target``, ``parent[v]`` is the *next hop*
+    of the shortest v→target path.  Returns ``[vertex, ..., target]`` or
+    ``None`` when ``vertex`` cannot reach ``target``.
+    """
+    if parent[vertex] < 0 and vertex != target:
+        return None
+    out = [int(vertex)]
+    limit = len(parent) + 1
+    while out[-1] != target:
+        out.append(int(parent[out[-1]]))
+        if len(out) > limit:
+            raise RuntimeError("parent array contains a cycle")
+    return out
+
+
+def concatenate(prefix: Iterable[int], suffix: Iterable[int]) -> tuple[int, ...]:
+    """Join a prefix ending at vertex v with a suffix starting at v.
+
+    The shared deviation vertex must appear exactly once in the result, so
+    the first element of ``suffix`` is dropped after checking it matches the
+    last element of ``prefix``.
+    """
+    pre = tuple(prefix)
+    suf = tuple(suffix)
+    if not pre or not suf:
+        raise ValueError("prefix and suffix must be non-empty")
+    if pre[-1] != suf[0]:
+        raise ValueError(
+            f"prefix ends at {pre[-1]} but suffix starts at {suf[0]}"
+        )
+    return pre + suf[1:]

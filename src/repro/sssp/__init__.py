@@ -1,0 +1,29 @@
+"""Single-source shortest path kernels.
+
+Four kernels with one result contract (:class:`SSSPResult`):
+
+* :mod:`repro.sssp.dijkstra` — binary-heap Dijkstra; the workhorse used
+  inside every KSP algorithm (supports target early-stop and banned
+  vertices/edges for Yen-style deviations).
+* :mod:`repro.sssp.delta_stepping` — Meyer–Sanders Δ-stepping with
+  numpy-vectorised bucket relaxation; this is the "parallel SSSP" of the
+  paper and it emits a per-phase work log for the parallel simulator.
+* :mod:`repro.sssp.bellman_ford` — reference implementation for tests.
+* :mod:`repro.sssp.lazy_dijkstra` — pausable/resumable Dijkstra used by the
+  SB* algorithm's SSSP-reuse optimisation.
+"""
+
+from repro.sssp.result import SSSPResult, SSSPStats
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.delta_stepping import delta_stepping
+from repro.sssp.bellman_ford import bellman_ford
+from repro.sssp.lazy_dijkstra import LazyDijkstra
+
+__all__ = [
+    "SSSPResult",
+    "SSSPStats",
+    "dijkstra",
+    "delta_stepping",
+    "bellman_ford",
+    "LazyDijkstra",
+]

@@ -1,0 +1,127 @@
+"""Binary-heap Dijkstra with the deviation-search hooks Yen-style KSP needs.
+
+This kernel is deliberately a tight scalar loop: inside a KSP run it is
+called thousands of times on small remaining graphs, where the fixed cost of
+vectorised machinery would dominate.  The numpy arrays of the CSR are read
+directly (local-variable aliases hoisted out of the loop, per the
+optimisation guide), and lazy deletion keeps the heap simple.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Collection
+
+import numpy as np
+
+from repro.errors import VertexError
+from repro.graph.csr import CSRGraph
+from repro.paths import INF
+from repro.sssp.result import SSSPResult, SSSPStats
+
+__all__ = ["dijkstra"]
+
+
+def dijkstra(
+    graph: CSRGraph,
+    source: int,
+    *,
+    target: int | None = None,
+    banned_vertices: Collection[int] | np.ndarray | None = None,
+    banned_edges: Collection[tuple[int, int]] | None = None,
+    cutoff: float | None = None,
+) -> SSSPResult:
+    """Single-source shortest paths from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        The CSR graph.  For a reverse SSSP pass ``graph.reverse()`` and the
+        target as ``source``.
+    target:
+        Stop as soon as this vertex is settled (Yen's suffix searches only
+        need the one distance).  The returned ``dist`` is still valid for
+        every vertex settled before the stop.
+    banned_vertices:
+        Vertices to treat as deleted (Yen's prefix/"red" vertices).  Either
+        an iterable of ids or a ``bool[n]`` mask.  The source itself must
+        not be banned.
+    banned_edges:
+        Set of ``(u, v)`` pairs to skip (Yen's removed deviation edges).
+    cutoff:
+        Abandon label values strictly greater than this (used by the
+        K-upper-bound-aware repair searches: any suffix longer than the
+        bound can never enter the K results).
+
+    Returns
+    -------
+    SSSPResult
+        ``dist``/``parent`` arrays plus work counters.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise VertexError(f"source {source} out of range [0, {n})")
+    if target is not None and not 0 <= target < n:
+        raise VertexError(f"target {target} out of range [0, {n})")
+
+    banned_mask: np.ndarray | None
+    if banned_vertices is None:
+        banned_mask = None
+    elif isinstance(banned_vertices, np.ndarray) and banned_vertices.dtype == bool:
+        banned_mask = banned_vertices
+    else:
+        banned_mask = np.zeros(n, dtype=bool)
+        ids = list(banned_vertices)
+        if ids:
+            banned_mask[np.asarray(ids, dtype=np.int64)] = True
+    if banned_mask is not None and banned_mask[source]:
+        raise VertexError(f"source {source} is banned")
+
+    dist = np.full(n, INF, dtype=np.float64)
+    parent = np.full(n, -1, dtype=np.int64)
+    settled = np.zeros(n, dtype=bool)
+    stats = SSSPStats()
+
+    dist[source] = 0.0
+    parent[source] = source
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    begins, ends, indices, weights, edge_mask = graph.adjacency_arrays()
+    check_edges = bool(banned_edges)
+
+    while heap:
+        d, u = pop(heap)
+        if settled[u]:
+            continue  # stale heap entry (lazy deletion)
+        settled[u] = True
+        stats.vertices_settled += 1
+        if u == target:
+            break
+        lo, hi = begins[u], ends[u]
+        for e in range(lo, hi):
+            if edge_mask is not None and not edge_mask[e]:
+                continue
+            v = indices[e]
+            if settled[v]:
+                continue
+            if banned_mask is not None and banned_mask[v]:
+                continue
+            if check_edges and (u, v) in banned_edges:  # type: ignore[operator]
+                continue
+            stats.edges_relaxed += 1
+            nd = d + weights[e]
+            if cutoff is not None and nd > cutoff:
+                continue
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                push(heap, (nd, v))
+                stats.heap_pushes += 1
+
+    # A serial Dijkstra settles one vertex per step, which is exactly its
+    # parallel-phase structure: report it so the simulator can model the
+    # non-scalable inner loop.
+    stats.phases = stats.vertices_settled
+    return SSSPResult(source=source, dist=dist, parent=parent, stats=stats)

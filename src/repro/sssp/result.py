@@ -1,0 +1,59 @@
+"""Shared result/statistics types for the SSSP kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SSSPStats", "SSSPResult"]
+
+
+@dataclass
+class SSSPStats:
+    """Work counters every SSSP kernel fills in.
+
+    These feed the parallel cost-model simulator (see
+    :mod:`repro.parallel`): ``edges_relaxed`` is the data-parallel work,
+    ``phases`` the number of synchronisation points a parallel execution of
+    the same traversal would need (Δ-stepping inner iterations; for
+    Dijkstra it equals the settled count because the algorithm is inherently
+    one-vertex-at-a-time).
+    """
+
+    edges_relaxed: int = 0
+    vertices_settled: int = 0
+    heap_pushes: int = 0
+    phases: int = 0
+    #: Per-phase edge-relaxation counts; only Δ-stepping fills this in.
+    phase_work: list[int] = field(default_factory=list)
+
+    @property
+    def total_work(self) -> int:
+        """Abstract work units: edge relaxations plus vertex settles."""
+        return self.edges_relaxed + self.vertices_settled
+
+
+@dataclass
+class SSSPResult:
+    """Distances and parents from one SSSP run.
+
+    ``dist[v]`` is ``inf`` for unreached vertices and ``parent[v]`` is ``-1``
+    (with ``parent[source] == source``).  For a *reverse* SSSP (run on the
+    transpose graph from the target) the arrays are in transpose-space:
+    ``dist[v]`` is the v→target distance and ``parent[v]`` is the next hop
+    toward the target.
+    """
+
+    source: int
+    dist: np.ndarray
+    parent: np.ndarray
+    stats: SSSPStats = field(default_factory=SSSPStats)
+
+    def reached(self, v: int) -> bool:
+        """True when ``v`` was reached from the source."""
+        return bool(np.isfinite(self.dist[v]))
+
+    def num_reached(self) -> int:
+        """Number of vertices with a finite distance."""
+        return int(np.isfinite(self.dist).sum())

@@ -1,0 +1,158 @@
+"""Independent verification of KSP results.
+
+Downstream users of a KSP library need a cheap way to audit results —
+especially when swapping algorithms or running on views/compacted graphs.
+:func:`verify_ksp_result` checks every *locally checkable* property of a
+result (path validity, simplicity, ordering, duplicates) in O(total path
+length), and optionally proves *completeness* (no shorter simple path was
+missed) by exhaustive enumeration on small graphs.
+
+The benchmark harness runs the local checks on every recorded result; the
+test suite uses the exhaustive mode as an extra oracle next to networkx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ksp.base import KSPResult
+
+__all__ = ["VerificationReport", "verify_ksp_result", "enumerate_simple_paths"]
+
+
+@dataclass
+class VerificationReport:
+    """The outcome of a verification run; falsy when anything failed."""
+
+    ok: bool = True
+    failures: list[str] = field(default_factory=list)
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.failures.append(message)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "OK" if self.ok else "; ".join(self.failures)
+
+
+def verify_ksp_result(
+    graph,
+    source: int,
+    target: int,
+    result: KSPResult,
+    *,
+    rel_tol: float = 1e-9,
+    check_completeness: bool = False,
+    completeness_limit: int = 2000,
+) -> VerificationReport:
+    """Audit a KSP result against the graph it claims to describe.
+
+    Local checks (always): every path starts at ``source``, ends at
+    ``target``, is simple, uses only existing edges, reports the correct
+    distance, the list is sorted, and no path repeats.
+
+    ``check_completeness=True`` additionally enumerates *all* simple s→t
+    paths (bounded by ``completeness_limit``; intended for test-sized
+    graphs) and confirms the result equals the true top-K.
+    """
+    report = VerificationReport()
+    seen: set[tuple[int, ...]] = set()
+    prev_dist = float("-inf")
+    for i, path in enumerate(result.paths):
+        label = f"path #{i}"
+        if path.vertices[0] != source:
+            report.fail(f"{label} starts at {path.vertices[0]}, not {source}")
+        if path.vertices[-1] != target:
+            report.fail(f"{label} ends at {path.vertices[-1]}, not {target}")
+        if not path.is_simple():
+            report.fail(f"{label} is not simple")
+        if path.vertices in seen:
+            report.fail(f"{label} duplicates an earlier path")
+        seen.add(path.vertices)
+        total = 0.0
+        for u, v in path.edges():
+            w = graph.edge_weight(u, v)
+            if w is None:
+                report.fail(f"{label} uses missing edge {u}->{v}")
+                total = float("nan")
+                break
+            total += w
+        if total == total and abs(total - path.distance) > rel_tol * max(
+            1.0, abs(total)
+        ):
+            report.fail(
+                f"{label} claims distance {path.distance}, edges sum to {total}"
+            )
+        if path.distance < prev_dist - rel_tol:
+            report.fail(f"{label} breaks the non-decreasing distance order")
+        prev_dist = max(prev_dist, path.distance)
+
+    if check_completeness:
+        true_dists = sorted(
+            d for _, d in enumerate_simple_paths(
+                graph, source, target, limit=completeness_limit
+            )
+        )
+        k = len(result.paths)
+        expected = true_dists[:k]
+        got = [p.distance for p in result.paths]
+        if len(result.paths) < min(result.k_requested, len(true_dists)):
+            report.fail(
+                f"result has {len(result.paths)} paths but "
+                f"{len(true_dists)} simple paths exist"
+            )
+        for i, (g_, e_) in enumerate(zip(got, expected)):
+            if abs(g_ - e_) > rel_tol * max(1.0, abs(e_)):
+                report.fail(
+                    f"rank {i}: got distance {g_}, true top-K has {e_}"
+                )
+    return report
+
+
+def enumerate_simple_paths(
+    graph,
+    source: int,
+    target: int,
+    *,
+    limit: int = 2000,
+    max_steps: int | None = None,
+):
+    """Yield ``(vertices, distance)`` for every simple s→t path (DFS).
+
+    Exponential by nature — use only on test-sized graphs.  Two guards,
+    both raising ``RuntimeError``: ``limit`` bounds the number of *paths*
+    yielded, and ``max_steps`` bounds the DFS expansions — necessary
+    because on dense graphs the search can wander exponentially many
+    dead-end prefixes between yields (the path count alone is no time
+    bound).  ``max_steps`` defaults to ``500·limit + 100_000``.
+    """
+    if max_steps is None:
+        max_steps = 500 * limit + 100_000
+    count = 0
+    steps = 0
+    stack: list[tuple[int, tuple[int, ...], float]] = [
+        (source, (source,), 0.0)
+    ]
+    while stack:
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(
+                f"exceeded {max_steps} DFS steps; the graph is too dense "
+                "for exhaustive path enumeration"
+            )
+        u, path, dist = stack.pop()
+        if u == target:
+            count += 1
+            if count > limit:
+                raise RuntimeError(
+                    f"more than {limit} simple paths; raise the limit"
+                )
+            yield path, dist
+            continue
+        targets, weights = graph.neighbors(u)
+        for v, w in zip(targets.tolist(), weights.tolist()):
+            if v not in path:
+                stack.append((int(v), path + (int(v),), dist + float(w)))

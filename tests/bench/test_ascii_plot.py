@@ -1,0 +1,49 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from repro.bench.ascii_plot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_contains_series_markers_and_legend(self):
+        text = line_chart(
+            [1, 2, 4, 8],
+            {"PeeK": [1, 1.1, 1.2, 1.2], "Yen": [1, 4, 16, 64]},
+            title="runtime vs K",
+        )
+        assert "runtime vs K" in text
+        assert "o PeeK" in text
+        assert "x Yen" in text
+        assert "o" in text.splitlines()[1] or any(
+            "o" in line for line in text.splitlines()
+        )
+
+    def test_log_scale_labels(self):
+        text = line_chart(
+            [1, 10], {"t": [0.001, 1000.0]}, logy=True
+        )
+        assert "1e+03" in text or "1000" in text
+
+    def test_flat_series_no_crash(self):
+        text = line_chart([1, 2], {"flat": [5.0, 5.0]})
+        assert "flat" in text
+
+    def test_empty_series(self):
+        assert line_chart([], {}, title="t") == "t"
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") < lines[1].count("█")
+
+    def test_unit_suffix(self):
+        text = bar_chart(["x"], [97.5], unit="%")
+        assert "97.5%" in text
+
+    def test_zero_values(self):
+        text = bar_chart(["z"], [0.0])
+        assert "z" in text
+
+    def test_empty(self):
+        assert bar_chart([], [], title="T") == "T"

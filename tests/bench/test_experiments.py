@@ -1,0 +1,101 @@
+"""Smoke tests: every experiment function produces a well-formed report at
+tiny scale (full-scale regeneration lives in benchmarks/)."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(
+        scale="tiny", pairs_per_graph=1, deadline_seconds=30
+    )
+
+
+class TestReports:
+    def test_fig01(self, runner):
+        rep = experiments.fig01_coverage(runner, ks=(4, 16))
+        assert [r[0] for r in rep.rows] == [4, 16]
+        for _, cv, ce in rep.rows:
+            assert 0 < cv <= 100
+            assert 0 < ce <= 100
+        # coverage grows with K
+        assert rep.rows[1][1] >= rep.rows[0][1]
+        # the report embeds an ASCII rendering of the figure
+        assert "covered V %" in rep.notes
+
+    def test_fig04(self, runner):
+        rep = experiments.fig04_pruning(runner, ks=(4,))
+        assert rep.rows[-1][0] == "AVG"
+        assert len(rep.rows) == 9  # 8 graphs + AVG
+        for row in rep.rows:
+            assert 0 <= row[1] <= 100
+
+    def test_fig06(self, runner):
+        rep = experiments.fig06_compaction(
+            runner, graph_name="LJ", fractions=(0.01, 1.0), k=4
+        )
+        assert len(rep.rows) == 2
+        assert all(len(r) == 7 for r in rep.rows)
+
+    def test_fig08(self, runner):
+        rep = experiments.fig08_ablation(runner, ks=(4,))
+        assert rep.rows[-1][0] == "AVG"
+        assert all(r[1] > 0 for r in rep.rows)
+
+    def test_fig09(self, runner):
+        rep = experiments.fig09_shared_scaling(
+            runner, k=4, threads=(1, 4, 16)
+        )
+        for row in rep.rows:
+            assert row[1] == pytest.approx(1.0)  # 1 thread = baseline
+
+    def test_fig10(self, runner):
+        rep = experiments.fig10_distributed_scaling(
+            runner, k=4, nodes=(1, 4)
+        )
+        for row in rep.rows:
+            assert row[1] == pytest.approx(1.0)
+        assert "GTEPS" in rep.notes
+
+    def test_fig11(self, runner):
+        rep = experiments.fig11_k_sweep(
+            runner, ks=(2, 4), methods=("OptYen", "PeeK")
+        )
+        assert len(rep.rows) == 16  # 8 graphs x 2 methods
+        assert "PeeK" in rep.notes
+
+    def test_fig12(self, runner):
+        rep = experiments.fig12_terrace(
+            runner, graph_name="LJ", fractions=(0.01, 1.0)
+        )
+        assert len(rep.rows) == 2
+        for row in rep.rows:
+            assert row[1] in ("regeneration", "edge-swap", "status-array")
+
+    def test_table2(self, runner):
+        rep = experiments.table2_parallel(
+            runner, ks=(4,), methods=("OptYen", "PeeK")
+        )
+        assert len(rep.rows) == 2
+        assert rep.header[2:] == list(runner.graph_names())
+
+    def test_table3(self, runner):
+        rep = experiments.table3_serial(
+            runner, ks=(4,), methods=("OptYen", "PeeK")
+        )
+        assert len(rep.rows) == 2
+
+    def test_save(self, runner, tmp_path):
+        rep = experiments.fig04_pruning(runner, ks=(4,))
+        path = rep.save(tmp_path)
+        assert path.exists()
+        assert "Figure 4" in path.read_text()
+
+    def test_registry_complete(self):
+        assert set(experiments.ALL_EXPERIMENTS) == {
+            "fig01", "fig04", "fig06", "fig08", "fig09", "fig10",
+            "fig11", "fig12", "table2", "table3",
+        }

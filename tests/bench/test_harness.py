@@ -1,0 +1,70 @@
+"""Unit tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentRunner, RunRecord
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def runner():
+    return ExperimentRunner(
+        scale="tiny", pairs_per_graph=2, deadline_seconds=30
+    )
+
+
+class TestRunner:
+    def test_graph_and_pairs_cached_consistently(self, runner):
+        assert runner.graph("R21") is runner.graph("R21")
+        assert runner.pairs("R21") == runner.pairs("R21")
+
+    def test_time_run_success(self, runner):
+        s, t = runner.pairs("R21")[0]
+        rec = runner.time_run("PeeK", "R21", s, t, 4)
+        assert rec.ok
+        assert rec.seconds > 0
+        assert len(rec.result.paths) <= 4
+
+    def test_time_run_timeout(self, runner):
+        fast_runner = ExperimentRunner(
+            scale="tiny", pairs_per_graph=1, deadline_seconds=0.0
+        )
+        s, t = fast_runner.pairs("LJ")[0]
+        rec = fast_runner.time_run("Yen", "LJ", s, t, 64)
+        assert rec.timed_out
+        assert not rec.ok
+
+    def test_average_seconds(self, runner):
+        mean, records = runner.average_seconds("OptYen", "R21", 4)
+        assert mean is not None and mean > 0
+        assert len(records) == 2
+
+    def test_same_pairs_for_all_methods(self, runner):
+        recs = []
+        for method in ("Yen", "PeeK"):
+            for s, t in runner.pairs("R21"):
+                recs.append(runner.time_run(method, "R21", s, t, 4))
+        runner.check_same_distances(recs)  # must not raise
+
+    def test_mismatch_detected(self, runner):
+        s, t = runner.pairs("R21")[0]
+        a = runner.time_run("Yen", "R21", s, t, 4)
+        b = runner.time_run("PeeK", "R21", s, t, 4)
+        b.result.paths = b.result.paths[:1]  # corrupt one record
+        with pytest.raises(ReproError):
+            runner.check_same_distances([a, b])
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_PAIRS", "3")
+        monkeypatch.setenv("REPRO_DEADLINE", "12")
+        r = ExperimentRunner()
+        assert r.scale == "tiny"
+        assert r.pairs_per_graph == 3
+        assert r.deadline_seconds == 12.0
+
+    def test_run_callable(self, runner):
+        secs, out = runner.run_callable(lambda: 41 + 1)
+        assert out == 42
+        assert secs >= 0

@@ -1,0 +1,64 @@
+"""The Fig 6/12 workload constructor must never drop the K shortest paths."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import _keep_masks_for_fraction
+from repro.graph.generators import erdos_renyi
+from repro.ksp.optyen import OptYenKSP
+from tests.conftest import random_reachable_pair
+
+
+@pytest.fixture(scope="module")
+def case():
+    g = erdos_renyi(120, 4.0, seed=71)
+    s, t = random_reachable_pair(g, seed=1)
+    return g, s, t
+
+
+@pytest.mark.parametrize("fraction", [0.001, 0.05, 0.5, 1.0])
+def test_paths_protected_at_any_fraction(case, fraction):
+    g, s, t = case
+    k = 6
+    keep_v, keep_e = _keep_masks_for_fraction(g, s, t, k, fraction)
+    ref = OptYenKSP(g, s, t).run(k)
+    src = g.edge_sources()
+    for p in ref.paths:
+        assert keep_v[list(p.vertices)].all()
+        for a, b in p.edges():
+            lo, hi = g.edge_range(a)
+            assert any(
+                keep_e[e] and g.indices[e] == b for e in range(lo, hi)
+            )
+
+
+def test_fraction_respected_approximately(case):
+    g, s, t = case
+    keep_v, keep_e = _keep_masks_for_fraction(g, s, t, 4, 0.5)
+    got = keep_e.sum() / g.num_edges
+    assert 0.45 <= got <= 0.6
+
+
+def test_full_fraction_keeps_everything(case):
+    g, s, t = case
+    keep_v, keep_e = _keep_masks_for_fraction(g, s, t, 4, 1.0)
+    assert keep_e.all()
+
+
+def test_ksp_on_masked_graph_unchanged(case):
+    """Keeping the protected paths means the top-K distances survive any
+    random deletion the workload constructor performs."""
+    from repro.core.compaction import compact_regenerate
+
+    g, s, t = case
+    k = 5
+    ref = OptYenKSP(g, s, t).run(k).distances
+    keep_v, keep_e = _keep_masks_for_fraction(g, s, t, k, 0.02)
+    regen = compact_regenerate(g, keep_v, keep_e)
+    inner = OptYenKSP(
+        regen.graph, regen.map_vertex(s), regen.map_vertex(t)
+    )
+    got = inner.run(k).distances
+    # remnant ⊆ original bounds each rank from below; the protected paths
+    # bound it from above — so the top-K distances are exactly preserved
+    assert np.allclose(got, ref)

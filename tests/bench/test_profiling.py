@@ -1,0 +1,48 @@
+"""Tests for the profiling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.profiling import profile_to_text, stage_breakdown
+from repro.core.peek import peek_ksp
+from tests.conftest import random_reachable_pair
+
+
+class TestStageBreakdown:
+    def test_matches_pipeline_results(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=61)
+        bd = stage_breakdown(medium_er, s, t, 5)
+        ref = peek_ksp(medium_er, s, t, 5)
+        assert np.allclose(bd.distances, ref.distances)
+        assert bd.strategy in ("regeneration", "edge-swap", "status-array")
+
+    def test_times_positive_and_consistent(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=61)
+        bd = stage_breakdown(medium_er, s, t, 5)
+        assert bd.prune_seconds >= 0
+        assert bd.total_seconds == pytest.approx(
+            bd.prune_seconds + bd.compact_seconds + bd.ksp_seconds
+        )
+        rows = bd.rows()
+        assert len(rows) == 3
+        assert abs(sum(share for _, _, share in rows) - 1.0) < 1e-6
+
+    def test_kwargs_forwarded(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=61)
+        bd = stage_breakdown(
+            medium_er, s, t, 5, kernel="dijkstra",
+            compaction_force="status-array",
+        )
+        assert bd.strategy == "status-array"
+
+    def test_unknown_kwarg_rejected(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=61)
+        with pytest.raises(TypeError):
+            stage_breakdown(medium_er, s, t, 5, bogus=1)
+
+
+class TestProfileToText:
+    def test_produces_stats(self, small_grid):
+        text = profile_to_text(peek_ksp, small_grid, 0, 63, 3, top=5)
+        assert "function calls" in text
+        assert "cumulative" in text

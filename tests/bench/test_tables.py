@@ -1,0 +1,58 @@
+"""Unit tests for table rendering."""
+
+from repro.bench.tables import format_cell, format_markdown, format_table
+
+
+class TestFormatCell:
+    def test_float(self):
+        assert format_cell(1.2345) == "1.23"
+        assert format_cell(1.2345, digits=3) == "1.234"
+
+    def test_thousands(self):
+        assert format_cell(2168.0) == "2,168"
+
+    def test_none_is_hyphen(self):
+        assert format_cell(None) == "-"
+
+    def test_nan_is_hyphen(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_string_passthrough(self):
+        assert format_cell("PeeK") == "PeeK"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            ["graph", "time"], [["R21", 1.5], ["GT", None]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "graph" in lines[1]
+        assert "-" in lines[2]
+        assert "R21" in lines[3]
+        assert "-" in lines[4]  # the None cell
+
+    def test_star_marks_column_minimum(self):
+        text = format_table(
+            ["m", "a", "b"],
+            [["x", 2.0, 1.0], ["y", 1.0, 3.0]],
+            star_min_columns=True,
+        )
+        assert "1.00*" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestMarkdown:
+    def test_structure(self):
+        md = format_markdown(["a", "b"], [[1, 2.5]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.50 |"

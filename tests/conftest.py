@@ -1,0 +1,108 @@
+"""Shared fixtures and graph builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, grid_network
+from repro.sssp.dijkstra import dijkstra
+
+
+@pytest.fixture
+def fan_graph() -> CSRGraph:
+    """Hand-checkable KSP example: four disjoint s→t corridors.
+
+    Vertices: s=0, a=1, b=2, c=3, t=4, d=5.  Simple paths and distances:
+    s-a-t = 2, s-b-t = 4, s-c-t = 6, s-d-t = 20.  With K = 3 the upper
+    bound is 6, so vertex d (spSum = 20) and the weight-10 edges must be
+    pruned — the canonical Algorithm 2 walk-through used by the pruning
+    tests.
+    """
+    edges = [
+        (0, 1, 1.0), (1, 4, 1.0),
+        (0, 2, 2.0), (2, 4, 2.0),
+        (0, 3, 3.0), (3, 4, 3.0),
+        (0, 5, 10.0), (5, 4, 10.0),
+    ]
+    return from_edge_list(6, edges)
+
+
+@pytest.fixture
+def loop_trap_graph() -> CSRGraph:
+    """Reproduces Figure 3(e): a vertex whose combined path is invalid.
+
+    s=0, f=1, j=2, i=3, t=4.  The forward tree reaches i via s→f→j→i and
+    the reverse tree sends i back through i→j→t, so the combined path
+    visits j twice.
+    """
+    edges = [
+        (0, 1, 1.0),  # s→f
+        (1, 2, 1.0),  # f→j
+        (2, 3, 1.0),  # j→i
+        (3, 2, 1.0),  # i→j
+        (2, 4, 5.0),  # j→t
+    ]
+    return from_edge_list(5, edges)
+
+
+@pytest.fixture
+def diamond_graph() -> CSRGraph:
+    """Two parallel two-hop routes plus a direct edge: 3 simple s→t paths."""
+    edges = [
+        (0, 1, 1.0), (1, 3, 1.0),   # s-a-t = 2
+        (0, 2, 1.5), (2, 3, 1.5),   # s-b-t = 3
+        (0, 3, 4.0),                 # s-t   = 4
+    ]
+    return from_edge_list(4, edges)
+
+
+@pytest.fixture
+def small_grid() -> CSRGraph:
+    """An 8×8 random-weight grid: many ties-free simple paths."""
+    return grid_network(8, 8, seed=3)
+
+
+@pytest.fixture
+def medium_er() -> CSRGraph:
+    """A 150-vertex random digraph for cross-algorithm tests."""
+    return erdos_renyi(150, 4.0, seed=11)
+
+
+def random_reachable_pair(graph: CSRGraph, seed: int = 0) -> tuple[int, int]:
+    """A deterministic (source, reachable target ≥2 hops) pair."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    for _ in range(100):
+        s = int(rng.integers(0, n))
+        res = dijkstra(graph, s)
+        reach = np.flatnonzero(np.isfinite(res.dist))
+        neighbors, _ = graph.neighbors(s)
+        far = np.setdiff1d(reach, np.append(neighbors, s))
+        if far.size:
+            return s, int(far[rng.integers(0, far.size)])
+    raise RuntimeError("no reachable pair found")
+
+
+def nx_k_shortest_distances(graph: CSRGraph, s: int, t: int, k: int) -> list[float]:
+    """Reference K shortest simple path distances via networkx."""
+    import itertools
+
+    import networkx as nx
+
+    from repro.graph.build import to_networkx
+
+    nxg = to_networkx(graph)
+    out = []
+    try:
+        for p in itertools.islice(
+            nx.shortest_simple_paths(nxg, s, t, weight="weight"), k
+        ):
+            out.append(
+                sum(nxg[a][b]["weight"] for a, b in zip(p[:-1], p[1:]))
+            )
+    except nx.NetworkXNoPath:
+        pass
+    return out

@@ -1,0 +1,96 @@
+"""Tests for the batched multi-query PeeK front end."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchPeeK
+from repro.core.peek import peek_ksp
+from repro.errors import UnreachableTargetError, VertexError
+from repro.graph.build import from_edge_list
+from repro.sssp.dijkstra import dijkstra
+from tests.conftest import random_reachable_pair
+
+
+class TestCorrectness:
+    def test_matches_single_query_peek(self, medium_er):
+        batch = BatchPeeK(medium_er)
+        for seed in range(5):
+            s, t = random_reachable_pair(medium_er, seed=seed)
+            ref = peek_ksp(medium_er, s, t, 5).distances
+            got = batch.query(s, t, 5).distances
+            assert np.allclose(got, ref), (s, t)
+
+    def test_result_artifacts(self, medium_er):
+        batch = BatchPeeK(medium_er)
+        s, t = random_reachable_pair(medium_er, seed=3)
+        res = batch.query(s, t, 4)
+        assert res.prune is not None
+        assert res.compaction is not None
+        for p in res.paths:
+            assert p.source == s and p.target == t
+
+    def test_dijkstra_kernel(self, medium_er):
+        batch = BatchPeeK(medium_er, kernel="dijkstra")
+        s, t = random_reachable_pair(medium_er, seed=4)
+        assert np.allclose(
+            batch.query(s, t, 4).distances, peek_ksp(medium_er, s, t, 4).distances
+        )
+
+    def test_unreachable(self):
+        g = from_edge_list(3, [(0, 1, 1.0)])
+        with pytest.raises(UnreachableTargetError):
+            BatchPeeK(g).query(0, 2, 2)
+
+    def test_bad_args(self, medium_er):
+        batch = BatchPeeK(medium_er)
+        with pytest.raises(VertexError):
+            batch.query(0, 9999, 2)
+        with pytest.raises(ValueError):
+            batch.query(0, 1, 0)
+        with pytest.raises(ValueError):
+            BatchPeeK(medium_er, cache_size=0)
+
+
+class TestCaching:
+    def test_shared_target_hits_reverse_cache(self, medium_er):
+        batch = BatchPeeK(medium_er)
+        t = random_reachable_pair(medium_er, seed=1)[1]
+        sources = []
+        res = dijkstra(medium_er.reverse(), t)
+        reach = np.flatnonzero(np.isfinite(res.dist))
+        reach = reach[reach != t]
+        for s in reach[:4].tolist():
+            sources.append(s)
+            batch.query(s, t, 3)
+        info = batch.cache_info
+        # 4 queries: 4 forward misses, 1 reverse miss, 3 reverse hits
+        assert info["hits"] >= len(sources) - 1
+        assert info["reverse_cached"] == 1
+
+    def test_shared_source_hits_forward_cache(self, medium_er):
+        batch = BatchPeeK(medium_er)
+        s = 0
+        res = dijkstra(medium_er, s)
+        reach = np.flatnonzero(np.isfinite(res.dist))
+        reach = reach[reach != s]
+        for t in reach[:4].tolist():
+            batch.query(s, int(t), 3)
+        assert batch.cache_info["forward_cached"] == 1
+        assert batch.cache_info["hits"] >= 3
+
+    def test_lru_eviction(self, medium_er):
+        batch = BatchPeeK(medium_er, cache_size=2)
+        res = dijkstra(medium_er, 0)
+        reach = np.flatnonzero(np.isfinite(res.dist))[:6]
+        for t in reach.tolist():
+            if t != 0:
+                batch.query(0, int(t), 2)
+        assert batch.cache_info["reverse_cached"] <= 2
+
+    def test_clear_cache(self, medium_er):
+        batch = BatchPeeK(medium_er)
+        s, t = random_reachable_pair(medium_er, seed=2)
+        batch.query(s, t, 2)
+        batch.clear_cache()
+        assert batch.cache_info["forward_cached"] == 0
+        assert batch.cache_info["reverse_cached"] == 0

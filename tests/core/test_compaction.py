@@ -1,0 +1,243 @@
+"""Unit tests for the three compaction strategies and the adaptive rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.compaction import (
+    EdgeSwapView,
+    StatusArrayView,
+    adaptive_compact,
+    compact_edge_swap,
+    compact_regenerate,
+    compact_status_array,
+)
+from repro.errors import GraphFormatError, VertexError
+from repro.graph.generators import erdos_renyi
+from repro.sssp.delta_stepping import delta_stepping
+from repro.sssp.dijkstra import dijkstra
+
+
+@pytest.fixture
+def pruned_case(medium_er):
+    """A graph plus a realistic keep decision from actual pruning."""
+    from repro.core.pruning import k_upper_bound_prune
+    from tests.conftest import random_reachable_pair
+
+    s, t = random_reachable_pair(medium_er, seed=13)
+    pr = k_upper_bound_prune(medium_er, s, t, 4)
+    return medium_er, pr.keep_vertices, pr.keep_edges, s, t
+
+
+def live_adjacency(graph, keep_v, keep_e):
+    """Reference live-edge set computed straight from the masks."""
+    src = graph.edge_sources()
+    live = keep_e & keep_v[src] & keep_v[graph.indices]
+    return {
+        (int(src[e]), int(graph.indices[e]), float(graph.weights[e]))
+        for e in np.flatnonzero(live)
+    }
+
+
+class TestStatusArray:
+    def test_neighbors_filtered(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        view = compact_status_array(g, kv, ke)
+        expect = live_adjacency(g, kv, ke)
+        got = set()
+        for v in np.flatnonzero(kv).tolist():
+            ts, ws = view.neighbors(v)
+            got.update((v, int(a), float(w)) for a, w in zip(ts, ws))
+        assert got == expect
+
+    def test_num_edges_is_live_count(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        view = compact_status_array(g, kv, ke)
+        assert view.num_edges == len(live_adjacency(g, kv, ke))
+
+    def test_reverse_mask_permuted_correctly(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        rev = compact_status_array(g, kv, ke).reverse()
+        expect = {(b, a, w) for a, b, w in live_adjacency(g, kv, ke)}
+        got = set()
+        for v in range(g.num_vertices):
+            ts, ws = rev.neighbors(v)
+            got.update((v, int(a), float(w)) for a, w in zip(ts, ws))
+        assert got == expect
+
+    def test_bad_mask_length(self, medium_er):
+        with pytest.raises(GraphFormatError):
+            StatusArrayView(medium_er, np.ones(3, dtype=bool))
+
+    def test_vertex_bounds(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        view = compact_status_array(g, kv, ke)
+        with pytest.raises(VertexError):
+            view.neighbors(g.num_vertices)
+
+
+class TestEdgeSwap:
+    def test_live_edges_preserved(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        view = compact_edge_swap(g, kv, ke)
+        expect = live_adjacency(g, kv, ke)
+        got = set()
+        for v in np.flatnonzero(kv).tolist():
+            ts, ws = view.neighbors(v)
+            got.update((v, int(a), float(w)) for a, w in zip(ts, ws))
+        assert got == expect
+
+    def test_base_graph_untouched(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        before = g.indices.copy()
+        compact_edge_swap(g, kv, ke)
+        assert np.array_equal(g.indices, before)
+
+    def test_ranges_contiguous(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        view = compact_edge_swap(g, kv, ke)
+        begins, ends, idx, w, mask = view.adjacency_arrays()
+        assert mask is None
+        assert np.all(ends >= begins[: len(ends)])
+
+    def test_edge_weight_lookup(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        view = compact_edge_swap(g, kv, ke)
+        ts, ws = view.neighbors(s)
+        if ts.size:
+            assert view.edge_weight(s, int(ts[0])) is not None
+
+    def test_reverse_consistent(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        rev = compact_edge_swap(g, kv, ke).reverse()
+        expect = {(b, a, w) for a, b, w in live_adjacency(g, kv, ke)}
+        got = set()
+        for v in np.flatnonzero(kv).tolist():
+            ts, ws = rev.neighbors(v)
+            got.update((v, int(a), float(w)) for a, w in zip(ts, ws))
+        assert got == expect
+
+
+class TestRegeneration:
+    def test_counts(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        regen = compact_regenerate(g, kv, ke)
+        assert regen.graph.num_vertices == int(kv.sum())
+        assert regen.graph.num_edges == len(live_adjacency(g, kv, ke))
+
+    def test_id_maps_inverse(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        regen = compact_regenerate(g, kv, ke)
+        for new, old in enumerate(regen.old_id.tolist()):
+            assert regen.new_id[old] == new
+
+    def test_map_vertex_raises_for_pruned(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        regen = compact_regenerate(g, kv, ke)
+        dead = int(np.flatnonzero(~kv)[0])
+        with pytest.raises(VertexError):
+            regen.map_vertex(dead)
+
+    def test_edges_translated(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        regen = compact_regenerate(g, kv, ke)
+        expect = live_adjacency(g, kv, ke)
+        got = {
+            (int(regen.old_id[u]), int(regen.old_id[v]), w)
+            for u, v, w in regen.graph.iter_edges()
+        }
+        assert got == expect
+
+    def test_map_path_back(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        regen = compact_regenerate(g, kv, ke)
+        ns, nt = regen.map_vertex(s), regen.map_vertex(t)
+        res = dijkstra(regen.graph, ns, target=nt)
+        from repro.paths import reconstruct_path
+
+        path = reconstruct_path(res.parent, ns, nt)
+        back = regen.map_path_back(path)
+        assert back[0] == s and back[-1] == t
+
+
+class TestEquivalence:
+    """All three strategies must expose identical downstream graphs."""
+
+    def test_sssp_identical_across_strategies(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        sa = compact_status_array(g, kv, ke)
+        es = compact_edge_swap(g, kv, ke)
+        regen = compact_regenerate(g, kv, ke)
+        d_sa = dijkstra(sa, s).dist
+        d_es = dijkstra(es, s).dist
+        d_rg = dijkstra(regen.graph, regen.map_vertex(s)).dist
+        assert np.allclose(
+            np.nan_to_num(d_sa, posinf=-1), np.nan_to_num(d_es, posinf=-1)
+        )
+        # regenerated ids differ; compare through the map
+        for old in np.flatnonzero(kv).tolist():
+            new = int(regen.new_id[old])
+            a, b = d_sa[old], d_rg[new]
+            assert (np.isinf(a) and np.isinf(b)) or a == pytest.approx(b)
+
+    def test_delta_stepping_works_on_views(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        sa = compact_status_array(g, kv, ke)
+        es = compact_edge_swap(g, kv, ke)
+        assert np.allclose(
+            np.nan_to_num(delta_stepping(sa, s).dist, posinf=-1),
+            np.nan_to_num(delta_stepping(es, s).dist, posinf=-1),
+        )
+
+
+class TestAdaptive:
+    def test_small_remnant_regenerates(self, medium_er):
+        kv = np.zeros(medium_er.num_vertices, dtype=bool)
+        kv[:5] = True
+        res = adaptive_compact(medium_er, kv, alpha=0.1)
+        assert res.strategy == "regeneration"
+        assert res.is_regenerated
+
+    def test_large_remnant_edge_swaps(self, medium_er):
+        kv = np.ones(medium_er.num_vertices, dtype=bool)
+        res = adaptive_compact(medium_er, kv, alpha=0.1)
+        assert res.strategy == "edge-swap"
+
+    def test_alpha_moves_the_threshold(self, medium_er):
+        kv = np.ones(medium_er.num_vertices, dtype=bool)
+        res = adaptive_compact(medium_er, kv, alpha=1.0)
+        # everything kept: m_r == m is NOT < alpha*m, so still edge-swap
+        assert res.strategy == "edge-swap"
+        kv2 = kv.copy()
+        kv2[medium_er.num_vertices // 2 :] = False
+        assert (
+            adaptive_compact(medium_er, kv2, alpha=1.0).strategy
+            == "regeneration"
+        )
+
+    def test_force_overrides(self, medium_er):
+        kv = np.zeros(medium_er.num_vertices, dtype=bool)
+        kv[:5] = True
+        res = adaptive_compact(medium_er, kv, force="status-array")
+        assert res.strategy == "status-array"
+
+    def test_bad_alpha(self, medium_er):
+        with pytest.raises(ValueError):
+            adaptive_compact(
+                medium_er, np.ones(medium_er.num_vertices, bool), alpha=1.5
+            )
+
+    def test_bad_force(self, medium_er):
+        with pytest.raises(ValueError):
+            adaptive_compact(
+                medium_er,
+                np.ones(medium_er.num_vertices, bool),
+                force="quantum",
+            )
+
+    def test_result_fields(self, pruned_case):
+        g, kv, ke, s, t = pruned_case
+        res = adaptive_compact(g, kv, ke)
+        assert res.remaining_vertices == int(kv.sum())
+        assert 0 <= res.remaining_edge_fraction <= 1
+        assert res.build_work > 0
+        assert res.build_seconds >= 0

@@ -1,0 +1,97 @@
+"""Hypothesis properties: the three compaction strategies are equivalent
+under arbitrary keep decisions, and adaptive selection never changes
+results."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compaction import (
+    adaptive_compact,
+    compact_edge_swap,
+    compact_regenerate,
+    compact_status_array,
+)
+from repro.graph.build import from_edge_array
+from repro.sssp.dijkstra import dijkstra
+
+
+@st.composite
+def masked_graphs(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 30))
+    m = int(rng.integers(1, 6 * n))
+    g = from_edge_array(
+        n,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.random(m) + 0.01,
+    )
+    keep_v = rng.random(n) < draw(st.floats(0.2, 1.0))
+    keep_e = rng.random(g.num_edges) < draw(st.floats(0.2, 1.0))
+    # ensure at least one live vertex to root an SSSP from
+    root = int(rng.integers(0, n))
+    keep_v[root] = True
+    return g, keep_v, keep_e, root
+
+
+def _live_set(graph, kv, ke):
+    src = graph.edge_sources()
+    live = ke & kv[src] & kv[graph.indices]
+    return {
+        (int(src[e]), int(graph.indices[e]), round(float(graph.weights[e]), 12))
+        for e in np.flatnonzero(live)
+    }
+
+
+@given(masked_graphs())
+@settings(max_examples=50, deadline=None)
+def test_three_strategies_expose_identical_graphs(case):
+    g, kv, ke, root = case
+    expect = _live_set(g, kv, ke)
+    sa = compact_status_array(g, kv, ke)
+    es = compact_edge_swap(g, kv, ke)
+    rg = compact_regenerate(g, kv, ke)
+
+    got_sa, got_es = set(), set()
+    for v in np.flatnonzero(kv).tolist():
+        ts, ws = sa.neighbors(v)
+        got_sa.update((v, int(a), round(float(w), 12)) for a, w in zip(ts, ws))
+        ts, ws = es.neighbors(v)
+        got_es.update((v, int(a), round(float(w), 12)) for a, w in zip(ts, ws))
+    got_rg = {
+        (int(rg.old_id[u]), int(rg.old_id[v]), round(w, 12))
+        for u, v, w in rg.graph.iter_edges()
+    }
+    assert got_sa == expect
+    assert got_es == expect
+    assert got_rg == expect
+
+
+@given(masked_graphs())
+@settings(max_examples=40, deadline=None)
+def test_sssp_agrees_across_strategies(case):
+    g, kv, ke, root = case
+    sa = compact_status_array(g, kv, ke)
+    es = compact_edge_swap(g, kv, ke)
+    rg = compact_regenerate(g, kv, ke)
+    d_sa = dijkstra(sa, root).dist
+    d_es = dijkstra(es, root).dist
+    assert np.allclose(
+        np.nan_to_num(d_sa, posinf=-1), np.nan_to_num(d_es, posinf=-1)
+    )
+    d_rg = dijkstra(rg.graph, rg.map_vertex(root)).dist
+    for old in np.flatnonzero(kv).tolist():
+        a, b = d_sa[old], d_rg[int(rg.new_id[old])]
+        assert (np.isinf(a) and np.isinf(b)) or abs(a - b) < 1e-9
+
+
+@given(masked_graphs(), st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_adaptive_choice_never_changes_live_edges(case, alpha):
+    g, kv, ke, root = case
+    expect = _live_set(g, kv, ke)
+    comp = adaptive_compact(g, kv, ke, alpha=alpha)
+    assert comp.remaining_edges == len(expect)
+    assert comp.strategy in ("regeneration", "edge-swap")

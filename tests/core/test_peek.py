@@ -1,0 +1,164 @@
+"""Unit and property tests for the PeeK pipeline, including Theorem 4.3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.peek import PeeK, peek_ksp
+from repro.errors import KSPError, UnreachableTargetError
+from repro.graph.build import from_edge_array, from_edge_list
+from repro.graph.generators import erdos_renyi
+from repro.ksp.yen import yen_ksp
+from repro.sssp.dijkstra import dijkstra
+from tests.conftest import random_reachable_pair
+
+
+class TestPipeline:
+    def test_fan_graph(self, fan_graph):
+        res = peek_ksp(fan_graph, 0, 4, 4)
+        assert res.distances == pytest.approx([2.0, 4.0, 6.0, 20.0])
+
+    def test_artifacts_exposed(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=21)
+        res = peek_ksp(medium_er, s, t, 4)
+        assert res.prune is not None
+        assert res.compaction is not None
+        assert res.prune.bound > 0
+        assert 0 <= res.pruned_vertex_fraction <= 1
+
+    def test_paths_in_original_ids(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=21)
+        res = peek_ksp(medium_er, s, t, 4)
+        for p in res.paths:
+            assert p.source == s and p.target == t
+            # every edge exists in the *original* graph
+            for a, b in p.edges():
+                assert medium_er.has_edge(a, b)
+
+    def test_ablation_flags(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=22)
+        ref = yen_ksp(medium_er, s, t, 5).distances
+        for flags in (
+            dict(prune=False, compact=False),
+            dict(compact=False),
+            dict(),
+            dict(compaction_force="edge-swap"),
+            dict(compaction_force="status-array"),
+            dict(compaction_force="regeneration"),
+            dict(kernel="dijkstra"),
+            dict(strong_edge_prune=True),
+            dict(alpha=1.0),
+            dict(alpha=0.0),
+        ):
+            got = PeeK(medium_er, s, t, **flags).run(5).distances
+            assert np.allclose(got, ref), flags
+
+    def test_base_variant_has_no_prune_artifacts(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=23)
+        res = PeeK(medium_er, s, t, prune=False, compact=False).run(3)
+        assert res.prune is None
+        assert res.compaction is None
+
+    def test_unreachable(self):
+        g = from_edge_list(3, [(0, 1, 1.0)])
+        with pytest.raises(UnreachableTargetError):
+            peek_ksp(g, 0, 2, 2)
+
+    def test_iter_requires_prepare(self, fan_graph):
+        algo = PeeK(fan_graph, 0, 4)
+        with pytest.raises(KSPError):
+            next(algo.iter_paths())
+
+    def test_iter_stops_at_prepared_k(self, fan_graph):
+        algo = PeeK(fan_graph, 0, 4)
+        algo.prepare(2)
+        assert len(list(algo.iter_paths())) == 2
+
+    def test_bad_k(self, fan_graph):
+        with pytest.raises(ValueError):
+            peek_ksp(fan_graph, 0, 4, 0)
+
+
+class TestPruningEffect:
+    def test_kept_graph_much_smaller(self):
+        g = erdos_renyi(400, 5.0, seed=31)
+        s, t = random_reachable_pair(g, seed=3)
+        res = peek_ksp(g, s, t, 4)
+        assert res.compaction.remaining_edges < g.num_edges
+        assert res.prune.num_kept_vertices < g.num_vertices
+
+    def test_less_ksp_work_than_baseline(self):
+        g = erdos_renyi(400, 5.0, seed=31)
+        s, t = random_reachable_pair(g, seed=3)
+        peek = peek_ksp(g, s, t, 8)
+        base = PeeK(g, s, t, prune=False, compact=False).run(8)
+        # the KSP stage itself must get dramatically cheaper after pruning
+        assert peek.stats.total_work <= base.stats.total_work
+
+
+class TestTheorem43:
+    """The K shortest paths of the pruned graph equal the original's."""
+
+    @given(st.integers(0, 10_000), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_peek_equals_yen_on_random_graphs(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 40))
+        m = int(rng.integers(n, 5 * n))
+        g = from_edge_array(
+            n,
+            rng.integers(0, n, size=m),
+            rng.integers(0, n, size=m),
+            rng.choice([0.25, 0.5, 1.0, 1.5, 4.0], size=m),
+        )
+        s = int(rng.integers(0, n))
+        reach = np.flatnonzero(np.isfinite(dijkstra(g, s).dist))
+        reach = reach[reach != s]
+        if reach.size == 0:
+            return  # nothing reachable; skip this draw
+        t = int(reach[rng.integers(0, reach.size)])
+        ref = yen_ksp(g, s, t, k)
+        got = peek_ksp(g, s, t, k)
+        assert len(got.paths) == len(ref.paths)
+        assert np.allclose(got.distances, ref.distances)
+
+    def test_unit_weight_ties(self):
+        """Massive shortest-path ties (the -U graphs) stay correct."""
+        from repro.graph.generators import grid_network
+
+        g = grid_network(5, 5, weight_scheme="unit", seed=0)
+        ref = yen_ksp(g, 0, 24, 10)
+        got = peek_ksp(g, 0, 24, 10)
+        assert np.allclose(got.distances, ref.distances)
+
+
+class TestKInsensitivity:
+    @staticmethod
+    def _end_to_end_work(res) -> int:
+        total = res.stats.total_work
+        if res.prune is not None:
+            total += res.prune.stats.total_work
+        if res.compaction is not None:
+            total += res.compaction.build_work
+        return total
+
+    def test_work_grows_slowly_with_k(self):
+        """The paper's headline: 64x more K, barely more runtime.
+
+        PeeK's end-to-end cost is dominated by the two pruning SSSPs, which
+        do not depend on K at all, so its growth factor from K=2 to K=32
+        must be far below the baseline's (paper: 1.1x vs 10.3x).
+        """
+        from repro.graph.generators import preferential_attachment
+
+        g = preferential_attachment(800, 6, seed=5)
+        s, t = random_reachable_pair(g, seed=7)
+        w2 = self._end_to_end_work(peek_ksp(g, s, t, 2))
+        w32 = self._end_to_end_work(peek_ksp(g, s, t, 32))
+        base2 = PeeK(g, s, t, prune=False, compact=False).run(2).stats.total_work
+        base32 = PeeK(g, s, t, prune=False, compact=False).run(32).stats.total_work
+        peek_growth = w32 / max(w2, 1)
+        base_growth = base32 / max(base2, 1)
+        assert peek_growth < base_growth
+        assert peek_growth < 3.0  # near-flat in K, as the paper reports

@@ -1,0 +1,70 @@
+"""Unit tests for the combined-path validity check (Figure 3(e))."""
+
+import numpy as np
+
+from repro.core.validation import combined_path, validate_combined_path
+from repro.sssp.dijkstra import dijkstra
+
+
+class TestCombinedPath:
+    def test_figure3e_invalid_path(self, loop_trap_graph):
+        """Vertex i's combined path s→f→j→i + i→j→t repeats j."""
+        g = loop_trap_graph
+        fwd = dijkstra(g, 0)
+        rev = dijkstra(g.reverse(), 4)
+        got = combined_path(fwd.parent, rev.parent, 0, 4, 3)
+        assert got is not None
+        src_path, tgt_path = got
+        assert src_path == (0, 1, 2, 3)   # s f j i
+        assert tgt_path == (3, 2, 4)       # i j t
+        valid, full = validate_combined_path(src_path, tgt_path)
+        assert not valid
+        assert full == (0, 1, 2, 3, 2, 4)
+
+    def test_valid_path_through_j(self, loop_trap_graph):
+        g = loop_trap_graph
+        fwd = dijkstra(g, 0)
+        rev = dijkstra(g.reverse(), 4)
+        src_path, tgt_path = combined_path(fwd.parent, rev.parent, 0, 4, 2)
+        valid, full = validate_combined_path(src_path, tgt_path)
+        assert valid
+        assert full == (0, 1, 2, 4)
+
+    def test_endpoint_vertices(self, loop_trap_graph):
+        g = loop_trap_graph
+        fwd = dijkstra(g, 0)
+        rev = dijkstra(g.reverse(), 4)
+        # v = source: src subpath is [s], tgt subpath is the whole path
+        src_path, tgt_path = combined_path(fwd.parent, rev.parent, 0, 4, 0)
+        assert src_path == (0,)
+        valid, _ = validate_combined_path(src_path, tgt_path)
+        assert valid
+        # v = target
+        src_path, tgt_path = combined_path(fwd.parent, rev.parent, 0, 4, 4)
+        assert tgt_path == (4,)
+
+    def test_detached_vertex_returns_none(self):
+        parent_src = np.array([0, -1], dtype=np.int64)
+        parent_tgt = np.array([1, 1], dtype=np.int64)
+        assert combined_path(parent_src, parent_tgt, 0, 1, 1) is None
+
+    def test_unreachable_target_side(self):
+        parent_src = np.array([0, 0], dtype=np.int64)
+        parent_tgt = np.array([-1, 1], dtype=np.int64)
+        assert combined_path(parent_src, parent_tgt, 0, 1, 0) is None
+
+
+class TestValidate:
+    def test_shared_endpoint_not_a_duplicate(self):
+        valid, full = validate_combined_path((0, 1), (1, 2))
+        assert valid
+        assert full == (0, 1, 2)
+
+    def test_duplicate_detected_anywhere(self):
+        valid, _ = validate_combined_path((0, 1, 2), (2, 3, 0))
+        assert not valid
+
+    def test_trivial_paths(self):
+        valid, full = validate_combined_path((5,), (5,))
+        assert valid
+        assert full == (5,)

@@ -1,0 +1,109 @@
+"""Unit tests for the SimComm BSP communicator."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.comm import CommModel, SimComm
+from repro.errors import CommError
+
+
+class TestCollectives:
+    def test_alltoallv_routes_correctly(self):
+        comm = SimComm(3)
+        send = [
+            [np.array([i * 10 + j]) for j in range(3)] for i in range(3)
+        ]
+        recv = comm.alltoallv(send)
+        # recv[j][i] must equal send[i][j]
+        for i in range(3):
+            for j in range(3):
+                assert recv[j][i][0] == i * 10 + j
+
+    def test_alltoallv_shape_checked(self):
+        comm = SimComm(2)
+        with pytest.raises(CommError):
+            comm.alltoallv([[1]])
+
+    def test_allgather(self):
+        comm = SimComm(4)
+        out = comm.allgather([np.array([r]) for r in range(4)])
+        assert [int(a[0]) for a in out] == [0, 1, 2, 3]
+
+    def test_allreduce(self):
+        comm = SimComm(3)
+        assert comm.allreduce([3, 1, 2], op=min) == 1
+        assert comm.allreduce([3, 1, 2], op=max) == 3
+
+    def test_bcast(self):
+        comm = SimComm(3)
+        assert comm.bcast(42, root=1) == 42
+        with pytest.raises(CommError):
+            comm.bcast(1, root=9)
+
+    def test_collective_length_checked(self):
+        comm = SimComm(3)
+        with pytest.raises(CommError):
+            comm.allgather([np.zeros(1)])
+        with pytest.raises(CommError):
+            comm.allreduce([1, 2])
+
+
+class TestAccounting:
+    def test_single_rank_is_free(self):
+        comm = SimComm(1)
+        comm.allgather([np.zeros(100)])
+        comm.barrier()
+        assert comm.report.comm_units == 0.0
+        assert comm.report.supersteps == 2
+
+    def test_multi_rank_charges(self):
+        comm = SimComm(4)
+        comm.allgather([np.zeros(100)] * 4)
+        assert comm.report.comm_units > 0
+        assert comm.report.total_messages > 0
+
+    def test_compute_takes_max(self):
+        comm = SimComm(2, CommModel(cores_per_node=1))
+        comm.compute([100, 10])
+        assert comm.report.compute_units == 100.0
+        assert comm.report.serial_work == 110.0
+
+    def test_compute_divides_by_cores(self):
+        one_core = SimComm(2, CommModel(cores_per_node=1))
+        many_core = SimComm(2, CommModel(cores_per_node=16))
+        one_core.compute([1000, 1000])
+        many_core.compute([1000, 1000])
+        assert many_core.report.compute_units < one_core.report.compute_units
+
+    def test_compute_shape_checked(self):
+        comm = SimComm(2)
+        with pytest.raises(CommError):
+            comm.compute([1])
+
+    def test_empty_payloads_send_no_messages(self):
+        comm = SimComm(2)
+        send = [[np.empty(0), np.empty(0)], [np.empty(0), np.empty(0)]]
+        comm.alltoallv(send)
+        assert comm.report.total_messages == 0
+
+    def test_bad_rank_count(self):
+        with pytest.raises(CommError):
+            SimComm(0)
+
+
+class TestModelScaling:
+    def test_scaled_for_shrinks_constants(self):
+        m = CommModel()
+        s = m.scaled_for(graph_edges=1_500_000)  # 1000x smaller than ref
+        assert s.latency == pytest.approx(m.latency / 1000)
+        assert s.per_byte == pytest.approx(m.per_byte / 1000)
+        assert s.cores_per_node == m.cores_per_node
+
+    def test_scaled_for_never_inflates(self):
+        m = CommModel()
+        s = m.scaled_for(graph_edges=10**12)
+        assert s.latency == m.latency
+
+    def test_step_cost_formula(self):
+        m = CommModel(latency=10, per_message=2, per_byte=0.5)
+        assert m.step_cost(max_bytes=100, num_messages=3) == 10 + 6 + 50

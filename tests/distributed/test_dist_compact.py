@@ -1,0 +1,74 @@
+"""Distributed compaction equals serial compaction, rank count irrelevant."""
+
+import numpy as np
+import pytest
+
+from repro.core.compaction import compact_edge_swap, compact_regenerate
+from repro.core.pruning import k_upper_bound_prune
+from repro.distributed.comm import SimComm
+from repro.distributed.dist_compact import (
+    distributed_edge_swap_ends,
+    distributed_regenerate,
+)
+from repro.distributed.partition import RowPartition
+from tests.conftest import random_reachable_pair
+
+
+@pytest.fixture(scope="module")
+def keep_case():
+    from repro.graph.generators import erdos_renyi
+
+    g = erdos_renyi(200, 4.0, seed=17)
+    s, t = random_reachable_pair(g, seed=2)
+    pr = k_upper_bound_prune(g, s, t, 6)
+    return g, pr.keep_vertices, pr.keep_edges
+
+
+class TestRegeneration:
+    @pytest.mark.parametrize("ranks", [1, 2, 5])
+    def test_equals_serial(self, keep_case, ranks):
+        g, kv, ke = keep_case
+        serial = compact_regenerate(g, kv, ke)
+        part = RowPartition.build(g, ranks)
+        comm = SimComm(ranks)
+        dist = distributed_regenerate(part, kv, ke, comm)
+        assert np.array_equal(dist.new_id, serial.new_id)
+        assert np.array_equal(dist.old_id, serial.old_id)
+        assert dist.graph.structurally_equal(serial.graph)
+
+    def test_charges_communication(self, keep_case):
+        g, kv, ke = keep_case
+        comm = SimComm(4)
+        distributed_regenerate(RowPartition.build(g, 4), kv, ke, comm)
+        assert comm.report.comm_units > 0
+        assert comm.report.compute_units > 0
+
+    def test_empty_remnant(self, keep_case):
+        g, _, _ = keep_case
+        kv = np.zeros(g.num_vertices, dtype=bool)
+        comm = SimComm(2)
+        regen = distributed_regenerate(
+            RowPartition.build(g, 2), kv, None, comm
+        )
+        assert regen.graph.num_vertices == 0
+        assert regen.graph.num_edges == 0
+
+
+class TestEdgeSwap:
+    @pytest.mark.parametrize("ranks", [1, 3, 6])
+    def test_ends_equal_serial_view(self, keep_case, ranks):
+        g, kv, ke = keep_case
+        serial_view = compact_edge_swap(g, kv, ke)
+        part = RowPartition.build(g, ranks)
+        comm = SimComm(ranks)
+        ends = distributed_edge_swap_ends(part, kv, ke, comm)
+        _, serial_ends, _, _, _ = serial_view.adjacency_arrays()
+        assert np.array_equal(ends, serial_ends)
+
+    def test_no_data_communication(self, keep_case):
+        """Edge swap is embarrassingly parallel: a single barrier only."""
+        g, kv, ke = keep_case
+        comm = SimComm(4)
+        distributed_edge_swap_ends(RowPartition.build(g, 4), kv, ke, comm)
+        assert comm.report.total_bytes == 0
+        assert comm.report.supersteps == 1

@@ -1,0 +1,108 @@
+"""Distributed Δ-stepping: identical results to serial, sane accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.comm import SimComm
+from repro.distributed.dist_sssp import distributed_delta_stepping
+from repro.distributed.partition import RowPartition
+from repro.errors import VertexError
+from repro.graph.build import from_edge_array
+from repro.graph.generators import erdos_renyi, grid_network
+from repro.sssp.dijkstra import dijkstra
+
+
+def dist_equal(a, b):
+    return np.allclose(np.nan_to_num(a, posinf=-1), np.nan_to_num(b, posinf=-1))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 8])
+    def test_matches_dijkstra(self, ranks):
+        g = erdos_renyi(150, 4.0, seed=5)
+        part = RowPartition.build(g, ranks)
+        res = distributed_delta_stepping(part, 7, SimComm(ranks))
+        assert dist_equal(res.dist, dijkstra(g, 7).dist)
+
+    def test_grid(self):
+        g = grid_network(10, 10, seed=2)
+        part = RowPartition.build(g, 4)
+        res = distributed_delta_stepping(part, 0, SimComm(4))
+        assert dist_equal(res.dist, dijkstra(g, 0).dist)
+
+    def test_parents_valid(self):
+        from repro.paths import reconstruct_path
+
+        g = erdos_renyi(80, 3.0, seed=9)
+        part = RowPartition.build(g, 4)
+        res = distributed_delta_stepping(part, 0, SimComm(4))
+        ref = dijkstra(g, 0)
+        for v in np.flatnonzero(np.isfinite(res.dist)).tolist():
+            path = reconstruct_path(res.parent, 0, v)
+            assert path is not None
+            total = sum(
+                g.edge_weight(a, b) for a, b in zip(path[:-1], path[1:])
+            )
+            assert total == pytest.approx(float(ref.dist[v]))
+
+    def test_bad_source(self):
+        g = erdos_renyi(10, 2.0, seed=0)
+        part = RowPartition.build(g, 2)
+        with pytest.raises(VertexError):
+            distributed_delta_stepping(part, 99, SimComm(2))
+
+
+class TestAccounting:
+    def test_comm_grows_with_ranks(self):
+        g = erdos_renyi(200, 5.0, seed=3)
+        costs = []
+        for ranks in (2, 8):
+            comm = SimComm(ranks)
+            distributed_delta_stepping(
+                RowPartition.build(g, ranks), 0, comm
+            )
+            costs.append(comm.report.comm_units)
+        assert costs[1] > costs[0]
+
+    def test_compute_shrinks_with_ranks(self):
+        g = erdos_renyi(400, 6.0, seed=3)
+        units = []
+        for ranks in (1, 8):
+            comm = SimComm(ranks)
+            distributed_delta_stepping(
+                RowPartition.build(g, ranks), 0, comm
+            )
+            units.append(comm.report.compute_units)
+        assert units[1] < units[0]
+
+    def test_messages_counted(self):
+        g = erdos_renyi(100, 4.0, seed=1)
+        comm = SimComm(4)
+        distributed_delta_stepping(RowPartition.build(g, 4), 0, comm)
+        assert comm.report.total_messages > 0
+        assert comm.report.total_bytes > 0
+        assert comm.report.supersteps > 0
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_distributed_equals_serial(seed, ranks):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(max(ranks, 2), 60))
+    m = int(rng.integers(n, 6 * n))
+    g = from_edge_array(
+        n,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.random(m) + 0.01,
+    )
+    ranks = min(ranks, n)
+    s = int(rng.integers(0, n))
+    part = RowPartition.build(g, ranks)
+    res = distributed_delta_stepping(part, s, SimComm(ranks))
+    assert dist_equal(res.dist, dijkstra(g, s).dist)

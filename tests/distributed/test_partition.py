@@ -1,0 +1,68 @@
+"""Unit tests for 1-D row partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.partition import RowPartition
+from repro.errors import PartitionError
+from repro.graph.generators import erdos_renyi, preferential_attachment
+
+
+class TestBuild:
+    def test_ranges_cover_all_vertices(self):
+        g = erdos_renyi(100, 4.0, seed=0)
+        part = RowPartition.build(g, 4)
+        covered = []
+        for r in range(4):
+            lo, hi = part.local_range(r)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(100))
+
+    def test_single_rank(self):
+        g = erdos_renyi(50, 3.0, seed=1)
+        part = RowPartition.build(g, 1)
+        assert part.local_range(0) == (0, 50)
+
+    def test_too_many_ranks(self):
+        g = erdos_renyi(4, 1.0, seed=0)
+        with pytest.raises(PartitionError):
+            RowPartition.build(g, 10)
+
+    def test_zero_ranks(self):
+        g = erdos_renyi(4, 1.0, seed=0)
+        with pytest.raises(PartitionError):
+            RowPartition.build(g, 0)
+
+    def test_edge_balance_on_skewed_graph(self):
+        """Edge-count balancing keeps skewed graphs within ~3x of mean."""
+        g = preferential_attachment(2000, 8, seed=2)
+        part = RowPartition.build(g, 8)
+        assert part.edge_balance() < 3.0
+
+
+class TestOwnership:
+    def test_owner_of_matches_ranges(self):
+        g = erdos_renyi(100, 4.0, seed=0)
+        part = RowPartition.build(g, 4)
+        owners = part.owner_of(np.arange(100))
+        for r in range(4):
+            lo, hi = part.local_range(r)
+            assert np.all(owners[lo:hi] == r)
+
+    def test_local_vertices(self):
+        g = erdos_renyi(30, 2.0, seed=0)
+        part = RowPartition.build(g, 3)
+        allv = np.concatenate([part.local_vertices(r) for r in range(3)])
+        assert np.array_equal(allv, np.arange(30))
+
+    def test_local_edge_counts_sum_to_m(self):
+        g = erdos_renyi(100, 4.0, seed=0)
+        part = RowPartition.build(g, 5)
+        total = sum(part.local_edge_count(r) for r in range(5))
+        assert total == g.num_edges
+
+    def test_bad_rank(self):
+        g = erdos_renyi(10, 2.0, seed=0)
+        part = RowPartition.build(g, 2)
+        with pytest.raises(PartitionError):
+            part.local_range(5)

@@ -1,0 +1,53 @@
+"""Distributed sample sort: output equals np.sort, comm is charged."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.comm import SimComm
+from repro.distributed.sample_sort import distributed_sample_sort
+from repro.errors import CommError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 8])
+    def test_sorted_output(self, ranks):
+        rng = np.random.default_rng(0)
+        vals = rng.random(500)
+        out = distributed_sample_sort(vals, SimComm(ranks))
+        assert len(out) == ranks
+        assert np.allclose(np.concatenate(out), np.sort(vals))
+
+    def test_duplicates(self):
+        vals = np.array([1.0, 1.0, 1.0, 0.5, 2.0, 0.5, 1.0, 3.0])
+        out = distributed_sample_sort(vals, SimComm(4))
+        assert np.allclose(np.concatenate(out), np.sort(vals))
+
+    def test_already_sorted(self):
+        vals = np.arange(100, dtype=np.float64)
+        out = distributed_sample_sort(vals, SimComm(4))
+        assert np.allclose(np.concatenate(out), vals)
+
+    def test_too_few_values(self):
+        with pytest.raises(CommError):
+            distributed_sample_sort(np.array([1.0]), SimComm(4))
+
+
+class TestAccounting:
+    def test_three_rounds_charged(self):
+        comm = SimComm(4)
+        distributed_sample_sort(np.random.default_rng(1).random(400), comm)
+        # allgather + bcast + alltoallv = at least 3 supersteps
+        assert comm.report.supersteps >= 3
+        assert comm.report.comm_units > 0
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(1, 8), st.integers(8, 300))
+@settings(max_examples=30, deadline=None)
+def test_property_equals_np_sort(seed, ranks, size):
+    rng = np.random.default_rng(seed)
+    vals = rng.normal(size=size) * rng.choice([0.01, 1.0, 100.0])
+    ranks = min(ranks, size)
+    out = distributed_sample_sort(vals, SimComm(ranks))
+    assert np.allclose(np.concatenate(out), np.sort(vals))

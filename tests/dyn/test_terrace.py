@@ -1,0 +1,151 @@
+"""Unit tests for the Terrace-like hierarchical dynamic-graph container."""
+
+import numpy as np
+import pytest
+
+from repro.dyn.terrace import TerraceGraph
+from repro.errors import VertexError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import erdos_renyi, preferential_attachment
+from repro.sssp.dijkstra import dijkstra
+
+
+class TestBulkLoad:
+    def test_from_csr_preserves_edges(self, medium_er):
+        tg = TerraceGraph.from_csr(medium_er)
+        assert tg.num_vertices == medium_er.num_vertices
+        assert tg.num_edges == medium_er.num_edges
+        for v in range(0, medium_er.num_vertices, 17):
+            want_t, want_w = medium_er.neighbors(v)
+            got_t, got_w = tg.neighbors(v)
+            order_w = np.argsort(want_t, kind="stable")
+            assert np.array_equal(np.sort(got_t), np.sort(want_t))
+            assert got_w.sum() == pytest.approx(want_w.sum())
+
+    def test_levels_assigned_by_degree(self):
+        g = preferential_attachment(800, 8, seed=4)
+        tg = TerraceGraph.from_csr(g)
+        levels = {tg.level_name(v) for v in range(g.num_vertices)}
+        assert "small" in levels
+        assert "medium" in levels or "large" in levels
+
+    def test_empty_container(self):
+        tg = TerraceGraph(3)
+        assert tg.num_edges == 0
+        t, w = tg.neighbors(0)
+        assert t.size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(VertexError):
+            TerraceGraph(-1)
+
+
+class TestDeletion:
+    def test_delete_edges(self, medium_er):
+        tg = TerraceGraph.from_csr(medium_er)
+        src = medium_er.edge_sources()
+        kill = np.arange(0, medium_er.num_edges, 3)
+        removed = tg.delete_edges(src[kill], medium_er.indices[kill])
+        assert removed == len(set(zip(src[kill].tolist(), medium_er.indices[kill].tolist())))
+        for e in kill[:30].tolist():
+            assert not tg.has_edge(int(src[e]), int(medium_er.indices[e]))
+
+    def test_delete_missing_edge_is_noop(self, fan_graph):
+        tg = TerraceGraph.from_csr(fan_graph)
+        removed = tg.delete_edges(np.array([4]), np.array([0]))
+        assert removed == 0
+        assert tg.num_edges == fan_graph.num_edges
+
+    def test_delete_vertices_tombstones(self, fan_graph):
+        tg = TerraceGraph.from_csr(fan_graph)
+        tg.delete_vertices([1])
+        assert not tg.is_alive(1)
+        t, _ = tg.neighbors(0)
+        assert 1 not in t
+        t1, _ = tg.neighbors(1)
+        assert t1.size == 0
+
+    def test_deleted_source_sssp_rejected(self, fan_graph):
+        tg = TerraceGraph.from_csr(fan_graph)
+        tg.delete_vertices([0])
+        with pytest.raises(VertexError):
+            tg.sssp(0)
+
+    def test_mismatched_arrays(self, fan_graph):
+        tg = TerraceGraph.from_csr(fan_graph)
+        with pytest.raises(ValueError):
+            tg.delete_edges(np.array([0, 1]), np.array([1]))
+
+    def test_stats_counters(self, medium_er):
+        tg = TerraceGraph.from_csr(medium_er)
+        src = medium_er.edge_sources()
+        kill = np.arange(0, medium_er.num_edges, 2)
+        tg.delete_edges(src[kill], medium_er.indices[kill])
+        assert tg.stats.point_deletes > 0
+        assert tg.stats.elements_moved > 0
+
+
+class TestInsertion:
+    def test_insert_then_query(self):
+        tg = TerraceGraph(4)
+        tg.insert_edges([0, 0, 1], [1, 2, 3], [1.0, 2.0, 3.0])
+        assert tg.has_edge(0, 1)
+        assert tg.num_edges == 3
+
+    def test_insert_triggers_level_migration(self):
+        tg = TerraceGraph(40)
+        # push vertex 0 from small (<=8) into medium
+        targets = np.arange(1, 31)
+        tg.insert_edges(
+            np.zeros(30, dtype=np.int64), targets, np.ones(30)
+        )
+        assert tg.level_name(0) == "medium"
+        assert tg.stats.level_migrations >= 1
+
+    def test_duplicate_insert_keeps_lighter(self):
+        tg = TerraceGraph(2)
+        tg.insert_edges([0], [1], [5.0])
+        tg.insert_edges([0], [1], [2.0])
+        assert tg.num_edges == 1
+        _, w = tg.neighbors(0)
+        assert w[0] == 2.0
+
+
+class TestSSSPEquivalence:
+    def test_matches_csr_dijkstra(self, medium_er):
+        tg = TerraceGraph.from_csr(medium_er)
+        a = tg.sssp(0).dist
+        b = dijkstra(medium_er, 0).dist
+        assert np.allclose(
+            np.nan_to_num(a, posinf=-1), np.nan_to_num(b, posinf=-1)
+        )
+
+    def test_matches_after_deletions(self):
+        g = erdos_renyi(120, 4.0, seed=8)
+        rng = np.random.default_rng(1)
+        src = g.edge_sources()
+        kill = rng.choice(g.num_edges, size=g.num_edges // 2, replace=False)
+        tg = TerraceGraph.from_csr(g)
+        tg.delete_edges(src[kill], g.indices[kill])
+        # reference: CSR regenerated without those (u,v) pairs
+        dead = set(zip(src[kill].tolist(), g.indices[kill].tolist()))
+        edges = [
+            (u, v, w)
+            for u, v, w in g.iter_edges()
+            if (u, v) not in dead
+        ]
+        ref_graph = from_edge_list(g.num_vertices, edges)
+        a = tg.sssp(0).dist
+        b = dijkstra(ref_graph, 0).dist
+        assert np.allclose(
+            np.nan_to_num(a, posinf=-1), np.nan_to_num(b, posinf=-1)
+        )
+
+
+def test_memory_accounting(medium_er):
+    tg = TerraceGraph.from_csr(medium_er)
+    before = tg.memory_bytes()
+    src = medium_er.edge_sources()
+    kill = np.arange(medium_er.num_edges)
+    tg.delete_edges(src[kill], medium_er.indices[kill])
+    assert tg.memory_bytes() < before

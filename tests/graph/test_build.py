@@ -1,0 +1,152 @@
+"""Unit tests for :mod:`repro.graph.build`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, InvalidWeightError
+from repro.graph.build import (
+    assign_weights,
+    dedup_edges,
+    from_edge_array,
+    from_edge_list,
+    from_networkx,
+    to_networkx,
+)
+from repro.graph.generators import erdos_renyi
+
+
+class TestFromEdgeArray:
+    def test_basic(self):
+        g = from_edge_array(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([1.0, 2.0])
+        )
+        assert g.num_edges == 2
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_scalar_weight(self):
+        g = from_edge_array(3, np.array([0, 1]), np.array([1, 2]), 7.0)
+        assert g.edge_weight(0, 1) == 7.0
+
+    def test_self_loops_dropped(self):
+        g = from_edge_array(3, np.array([0, 1, 1]), np.array([0, 2, 1]), 1.0)
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_self_loops_kept_when_asked(self):
+        g = from_edge_array(
+            2, np.array([0]), np.array([0]), 1.0, drop_self_loops=False
+        )
+        assert g.has_edge(0, 0)
+
+    def test_dedup_keeps_min_weight(self):
+        g = from_edge_array(
+            2,
+            np.array([0, 0, 0]),
+            np.array([1, 1, 1]),
+            np.array([3.0, 1.0, 2.0]),
+        )
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_no_dedup(self):
+        g = from_edge_array(
+            2, np.array([0, 0]), np.array([1, 1]), np.array([3.0, 1.0]), dedup=False
+        )
+        assert g.num_edges == 2
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array(2, np.array([0]), np.array([5]), 1.0)
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(InvalidWeightError):
+            from_edge_array(2, np.array([0]), np.array([1]), -1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array(2, np.array([0, 1]), np.array([1]), 1.0)
+
+    def test_empty_edges(self):
+        g = from_edge_array(
+            3, np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0)
+        )
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+
+class TestDedupEdges:
+    def test_keeps_lightest_of_each_pair(self):
+        src = np.array([0, 0, 1, 0])
+        dst = np.array([1, 1, 2, 2])
+        w = np.array([2.0, 1.0, 3.0, 4.0])
+        s, d, ww = dedup_edges(src, dst, w)
+        assert len(s) == 3
+        pairs = {(int(a), int(b)): float(x) for a, b, x in zip(s, d, ww)}
+        assert pairs[(0, 1)] == 1.0
+
+
+class TestFromEdgeList:
+    def test_two_tuples_use_default_weight(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)], default_weight=2.5)
+        assert g.edge_weight(0, 1) == 2.5
+
+    def test_bad_tuple_length(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_list(3, [(0, 1, 1.0, 9)])
+
+
+class TestNetworkxBridge:
+    def test_round_trip(self):
+        g = erdos_renyi(40, 3.0, seed=4)
+        back = from_networkx(to_networkx(g))
+        assert back.structurally_equal(g)
+
+    def test_undirected_expands_both_directions(self):
+        import networkx as nx
+
+        ug = nx.Graph()
+        ug.add_nodes_from([0, 1])
+        ug.add_edge(0, 1, weight=2.0)
+        g = from_networkx(ug)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_bad_labels_rejected(self):
+        import networkx as nx
+
+        h = nx.DiGraph()
+        h.add_edge("a", "b")
+        with pytest.raises(GraphFormatError):
+            from_networkx(h)
+
+
+class TestAssignWeights:
+    def test_unit(self):
+        g = assign_weights(erdos_renyi(20, 2.0, seed=0), "unit")
+        assert np.all(g.weights == 1.0)
+
+    def test_random_in_unit_interval(self):
+        g = assign_weights(erdos_renyi(20, 2.0, seed=0), "random", seed=1)
+        assert np.all(g.weights > 0.0)
+        assert np.all(g.weights <= 1.0)
+
+    def test_real_heavy_tailed_positive(self):
+        g = assign_weights(erdos_renyi(200, 4.0, seed=0), "real", seed=1)
+        assert np.all(g.weights > 0.0)
+        # log-normal: mean noticeably above median
+        assert g.weights.mean() > np.median(g.weights)
+
+    def test_deterministic_given_seed(self):
+        base = erdos_renyi(20, 2.0, seed=0)
+        a = assign_weights(base, "random", seed=5)
+        b = assign_weights(base, "random", seed=5)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            assign_weights(erdos_renyi(5, 1.0, seed=0), "bogus")
+
+    def test_structure_preserved(self):
+        base = erdos_renyi(20, 2.0, seed=0)
+        rw = assign_weights(base, "real", seed=2)
+        assert np.array_equal(base.indptr, rw.indptr)
+        assert np.array_equal(base.indices, rw.indices)

@@ -1,0 +1,138 @@
+"""Unit tests for :mod:`repro.graph.generators`."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    copying_model,
+    erdos_renyi,
+    grid_network,
+    preferential_attachment,
+    random_dag,
+    rmat,
+)
+
+
+class TestRMAT:
+    def test_size(self):
+        g = rmat(8, 4, seed=0)
+        assert g.num_vertices == 256
+        # duplicates/self-loops removed, so fewer than 4*256 edges
+        assert 0 < g.num_edges <= 4 * 256
+
+    def test_deterministic(self):
+        a, b = rmat(7, 4, seed=3), rmat(7, 4, seed=3)
+        assert a.structurally_equal(b)
+
+    def test_different_seeds_differ(self):
+        a, b = rmat(7, 4, seed=3), rmat(7, 4, seed=4)
+        assert not a.structurally_equal(b)
+
+    def test_degree_skew(self):
+        g = rmat(10, 8, seed=1)
+        degs = np.sort(g.out_degrees())[::-1]
+        # scale-free-ish: the top 10% of vertices hold a large edge share
+        top = degs[: len(degs) // 10].sum()
+        assert top > 0.3 * degs.sum()
+
+    def test_bad_quadrants(self):
+        with pytest.raises(ValueError):
+            rmat(5, 2, a=0.5, b=0.5, c=0.5)
+
+    def test_unit_weights(self):
+        g = rmat(6, 2, weight_scheme="unit", seed=0)
+        assert np.all(g.weights == 1.0)
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        g = preferential_attachment(300, 5, seed=0)
+        assert g.num_vertices == 300
+        assert g.num_edges > 300
+
+    def test_deterministic(self):
+        assert preferential_attachment(100, 4, seed=7).structurally_equal(
+            preferential_attachment(100, 4, seed=7)
+        )
+
+    def test_in_degree_skew(self):
+        g = preferential_attachment(500, 6, seed=1)
+        in_degs = np.bincount(g.indices, minlength=500)
+        assert in_degs.max() > 5 * max(in_degs.mean(), 1)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(1, 2)
+
+
+class TestCopyingModel:
+    def test_size(self):
+        g = copying_model(300, 6, seed=0)
+        assert g.num_vertices == 300
+        assert g.num_edges > 0
+
+    def test_edges_point_backwards(self):
+        g = copying_model(200, 5, seed=2)
+        src = g.edge_sources()
+        assert np.all(g.indices < np.maximum(src, 1) + 200)  # sanity
+        assert np.all(g.indices != src)  # no self loops
+
+    def test_bad_copy_prob(self):
+        with pytest.raises(ValueError):
+            copying_model(10, 2, copy_prob=1.5)
+
+    def test_deterministic(self):
+        assert copying_model(150, 4, seed=9).structurally_equal(
+            copying_model(150, 4, seed=9)
+        )
+
+
+class TestGrid:
+    def test_vertex_count(self):
+        g = grid_network(4, 5, seed=0)
+        assert g.num_vertices == 20
+
+    def test_bidirectional_by_default(self):
+        g = grid_network(3, 3, seed=0)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_unidirectional(self):
+        g = grid_network(3, 3, bidirectional=False, seed=0)
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_grid_connectivity(self):
+        from repro.sssp.dijkstra import dijkstra
+
+        g = grid_network(6, 6, seed=1)
+        res = dijkstra(g, 0)
+        assert res.num_reached() == 36
+
+    def test_diagonals_added(self):
+        no_diag = grid_network(10, 10, seed=5)
+        diag = grid_network(10, 10, diagonal_prob=1.0, seed=5)
+        assert diag.num_edges > no_diag.num_edges
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            grid_network(0, 3)
+
+
+class TestRandomDag:
+    def test_acyclic(self):
+        import networkx as nx
+
+        from repro.graph.build import to_networkx
+
+        g = random_dag(60, 3.0, seed=0)
+        assert nx.is_directed_acyclic_graph(to_networkx(g))
+
+    def test_size(self):
+        g = random_dag(50, 2.0, seed=1)
+        assert g.num_vertices == 50
+
+
+class TestErdosRenyi:
+    def test_average_degree(self):
+        g = erdos_renyi(500, 6.0, seed=0)
+        # dedup/self-loop removal shaves a little off
+        assert 4.0 < g.num_edges / 500 <= 6.0

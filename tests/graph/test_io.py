@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.graph.io`."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import (
+    load_npz,
+    read_dimacs,
+    read_edge_list,
+    save_npz,
+    write_dimacs,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip_file(self, tmp_path):
+        g = erdos_renyi(30, 3.0, seed=0)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path, num_vertices=30)
+        assert back.structurally_equal(g)
+
+    def test_round_trip_stream(self):
+        g = erdos_renyi(20, 2.0, seed=1)
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        back = read_edge_list(buf, num_vertices=20)
+        assert back.structurally_equal(g)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# a comment\n\n0 1 2.5\n1 2\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.num_edges == 2
+        assert g.edge_weight(0, 1) == 2.5
+        assert g.edge_weight(1, 2) == 1.0  # default
+
+    def test_bad_line(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("0 1 2 3 4\n"))
+
+    def test_empty_input(self):
+        g = read_edge_list(io.StringIO(""), num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_num_vertices_inferred(self):
+        g = read_edge_list(io.StringIO("0 9 1.0\n"))
+        assert g.num_vertices == 10
+
+
+class TestDimacs:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(25, 3.0, seed=2)
+        path = tmp_path / "g.gr"
+        write_dimacs(g, path, comment="test graph")
+        back = read_dimacs(path)
+        assert back.structurally_equal(g)
+
+    def test_one_based_ids(self):
+        g = read_dimacs(io.StringIO("p sp 3 1\na 1 3 2.0\n"))
+        assert g.has_edge(0, 2)
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("a 1 2 1.0\n"))
+
+    def test_arc_before_problem_line(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("a 1 2 1.0\np sp 3 1\n"))
+
+    def test_unknown_record(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("p sp 2 0\nx nonsense\n"))
+
+    def test_comments_skipped(self):
+        g = read_dimacs(io.StringIO("c hello\np sp 2 1\na 1 2 1.0\n"))
+        assert g.num_edges == 1
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(40, 4.0, seed=3)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        back = load_npz(path)
+        assert np.array_equal(back.indptr, g.indptr)
+        assert np.array_equal(back.indices, g.indices)
+        assert np.array_equal(back.weights, g.weights)
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, nothing=np.zeros(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)

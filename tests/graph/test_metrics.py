@@ -1,0 +1,66 @@
+"""Unit tests for graph metrics + the suite's structural-family claims."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import erdos_renyi, preferential_attachment, rmat
+from repro.graph.metrics import degree_gini, reachable_fraction, summarize
+from repro.graph.suite import suite_graph
+
+
+class TestGini:
+    def test_uniform_degrees_near_zero(self):
+        from repro.graph.generators import grid_network
+
+        g = grid_network(10, 10, seed=0)
+        assert degree_gini(g) < 0.2
+
+    def test_scale_free_is_skewed(self):
+        g = preferential_attachment(1500, 6, seed=0)
+        assert degree_gini(g) > 0.35
+
+    def test_rmat_more_skewed_than_er(self):
+        er = erdos_renyi(1024, 8.0, seed=1)
+        rm = rmat(10, 8, seed=1)
+        assert degree_gini(rm) > degree_gini(er)
+
+    def test_empty_graph(self):
+        from repro.graph.build import from_edge_list
+
+        assert degree_gini(from_edge_list(3, [])) == 0.0
+
+
+class TestSummary:
+    def test_fields(self, medium_er):
+        s = summarize(medium_er, diameter_samples=2)
+        assert s.num_vertices == medium_er.num_vertices
+        assert s.num_edges == medium_er.num_edges
+        assert s.avg_degree == pytest.approx(
+            medium_er.num_edges / medium_er.num_vertices
+        )
+        assert s.max_out_degree >= 1
+        assert s.weight_min > 0
+        assert not math.isnan(s.effective_diameter)
+        assert len(s.row()) == 8
+
+    def test_reachable_fraction(self, medium_er):
+        frac = reachable_fraction(medium_er, 0)
+        assert 0 < frac <= 1
+
+
+class TestSuiteFamilies:
+    """The DESIGN.md substitution claim, measured."""
+
+    def test_social_and_rmat_families_are_skewed(self):
+        for name in ("R21", "LJ", "GT"):
+            g = suite_graph(name, "tiny")
+            assert degree_gini(g) > 0.3, name
+
+    def test_weight_schemes_summary(self):
+        random_w = summarize(suite_graph("LJ", "tiny"), diameter_samples=1)
+        unit_w = summarize(suite_graph("LJU", "tiny"), diameter_samples=1)
+        real_w = summarize(suite_graph("GT", "tiny"), diameter_samples=1)
+        assert unit_w.weight_min == unit_w.weight_max == 1.0
+        assert random_w.weight_max <= 1.0
+        assert real_w.weight_max > 1.0  # heavy-tailed "real" weights

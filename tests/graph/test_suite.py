@@ -1,0 +1,95 @@
+"""Unit tests for the benchmark graph suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph.suite import SCALES, SUITE_NAMES, random_st_pairs, suite_graph
+from repro.sssp.dijkstra import dijkstra
+
+
+class TestSuiteGraphs:
+    def test_all_names_build_at_tiny(self):
+        for name in SUITE_NAMES:
+            g = suite_graph(name, "tiny")
+            assert g.num_vertices > 0
+            assert g.num_edges > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            suite_graph("NOPE")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            suite_graph("R21", "galactic")
+
+    def test_paired_variants_share_structure(self):
+        for a, b in (("R21", "R21U"), ("LJ", "LJU"), ("WL", "WLU")):
+            ga, gb = suite_graph(a, "tiny"), suite_graph(b, "tiny")
+            assert np.array_equal(ga.indptr, gb.indptr)
+            assert np.array_equal(ga.indices, gb.indices)
+
+    def test_unit_variants_have_unit_weights(self):
+        for name in ("R21U", "LJU", "WLU"):
+            assert np.all(suite_graph(name, "tiny").weights == 1.0)
+
+    def test_weighted_variants_not_unit(self):
+        assert not np.all(suite_graph("R21", "tiny").weights == 1.0)
+
+    def test_gw_gt_are_bigger(self):
+        # the paper's two billion-edge graphs stay the suite's largest
+        lj = suite_graph("LJ", "tiny")
+        gt = suite_graph("GT", "tiny")
+        assert gt.num_vertices > lj.num_vertices
+
+    def test_caching(self):
+        assert suite_graph("LJ", "tiny") is suite_graph("LJ", "tiny")
+
+    def test_scales_grow(self):
+        tiny = suite_graph("R21", "tiny")
+        small = suite_graph("R21", "small")
+        assert small.num_vertices > tiny.num_vertices
+
+    def test_scales_constant(self):
+        assert SCALES == ("tiny", "small", "medium")
+        assert len(SUITE_NAMES) == 8
+
+
+class TestPairs:
+    def test_pairs_reachable(self):
+        g = suite_graph("LJ", "tiny")
+        for s, t in random_st_pairs(g, 4, seed=1):
+            res = dijkstra(g, s, target=t)
+            assert res.reached(t)
+            assert s != t
+
+    def test_pairs_deterministic(self):
+        g = suite_graph("LJ", "tiny")
+        assert random_st_pairs(g, 3, seed=5) == random_st_pairs(g, 3, seed=5)
+
+    def test_pairs_not_adjacent(self):
+        g = suite_graph("WL", "tiny")
+        for s, t in random_st_pairs(g, 4, seed=2):
+            assert not g.has_edge(s, t)
+
+    def test_too_small_graph(self):
+        from repro.graph.build import from_edge_list
+
+        g = from_edge_list(1, [])
+        with pytest.raises(ValueError):
+            random_st_pairs(g, 1)
+
+
+class TestDiskCache:
+    def test_round_trip_via_cache_dir(self, tmp_path, monkeypatch):
+        fresh = suite_graph("R21", "tiny")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        suite_graph.cache_clear()
+        try:
+            first = suite_graph("R21", "tiny")  # generates + writes
+            assert list(tmp_path.glob("suite-R21-tiny*.npz"))
+            suite_graph.cache_clear()
+            second = suite_graph("R21", "tiny")  # loads from disk
+            assert second.structurally_equal(first)
+            assert first.structurally_equal(fresh)
+        finally:
+            suite_graph.cache_clear()

@@ -1,0 +1,44 @@
+"""Deadline semantics across every algorithm (the paper's 1-hour cap)."""
+
+import time
+
+import pytest
+
+from repro.ksp import ALGORITHMS, make_algorithm
+from repro.ksp.base import KSPTimeout
+
+
+@pytest.mark.parametrize("method", sorted(ALGORITHMS))
+def test_expired_deadline_raises(medium_er, method):
+    from tests.conftest import random_reachable_pair
+
+    s, t = random_reachable_pair(medium_er, seed=9)
+    algo = make_algorithm(
+        method, medium_er, s, t, deadline=time.perf_counter() - 1.0
+    )
+    with pytest.raises(KSPTimeout):
+        algo.run(64)
+
+
+@pytest.mark.parametrize("method", ["Yen", "OptYen", "PeeK", "SB*"])
+def test_generous_deadline_is_harmless(medium_er, method):
+    from tests.conftest import random_reachable_pair
+
+    s, t = random_reachable_pair(medium_er, seed=9)
+    algo = make_algorithm(
+        method, medium_er, s, t, deadline=time.perf_counter() + 3600
+    )
+    res = algo.run(5)
+    assert len(res.paths) == 5
+
+
+def test_timeout_is_catchable_as_ksp_error(medium_er):
+    from repro.errors import KSPError
+    from tests.conftest import random_reachable_pair
+
+    s, t = random_reachable_pair(medium_er, seed=9)
+    algo = make_algorithm(
+        "Yen", medium_er, s, t, deadline=time.perf_counter() - 1.0
+    )
+    with pytest.raises(KSPError):
+        algo.run(64)

@@ -1,0 +1,80 @@
+"""Unit tests for the SHORTEST k GROUP variant."""
+
+import pytest
+
+from repro.graph.build import from_edge_list
+from repro.graph.generators import grid_network
+from repro.ksp.grouped import PathGroup, shortest_k_groups
+from repro.ksp.yen import YenKSP
+
+
+@pytest.fixture
+def tie_graph():
+    """Two length-2 paths, one length-3 path, one length-5 path."""
+    return from_edge_list(
+        5,
+        [
+            (0, 1, 1.0), (1, 4, 1.0),   # 2.0
+            (0, 2, 1.0), (2, 4, 1.0),   # 2.0
+            (0, 3, 1.5), (3, 4, 1.5),   # 3.0
+            (0, 4, 5.0),                 # 5.0
+        ],
+    )
+
+
+class TestGrouping:
+    def test_groups_by_distance(self, tie_graph):
+        groups = shortest_k_groups(YenKSP(tie_graph, 0, 4), 3)
+        assert [g.distance for g in groups] == pytest.approx([2.0, 3.0, 5.0])
+        assert len(groups[0]) == 2
+        assert len(groups[1]) == 1
+        assert len(groups[2]) == 1
+
+    def test_k_limits_group_count(self, tie_graph):
+        groups = shortest_k_groups(YenKSP(tie_graph, 0, 4), 1)
+        assert len(groups) == 1
+        assert len(groups[0]) == 2  # the whole first group is returned
+
+    def test_fewer_groups_than_k(self, tie_graph):
+        groups = shortest_k_groups(YenKSP(tie_graph, 0, 4), 10)
+        assert len(groups) == 3
+
+    def test_bad_k(self, tie_graph):
+        with pytest.raises(ValueError):
+            shortest_k_groups(YenKSP(tie_graph, 0, 4), 0)
+
+    def test_max_paths_cap(self):
+        # unit-weight grid: exponentially many equal-length paths
+        g = grid_network(4, 4, weight_scheme="unit", seed=0)
+        groups = shortest_k_groups(YenKSP(g, 0, 15), 1, max_paths=5)
+        assert sum(len(gr) for gr in groups) == 5
+
+    def test_float_tolerance_groups_accumulated_sums(self):
+        # 0.1+0.2 != 0.3 exactly; the tolerance must still group them
+        g = from_edge_list(
+            4,
+            [
+                (0, 1, 0.1), (1, 3, 0.2),
+                (0, 2, 0.3000000000000001), (2, 3, 1e-9),
+            ],
+        )
+        # distances 0.30000000000000004 vs 0.300000001 — distinct groups at
+        # rel_tol 1e-12 but one group at a coarse tolerance
+        fine = shortest_k_groups(YenKSP(g, 0, 3), 2, rel_tol=1e-13)
+        coarse = shortest_k_groups(YenKSP(g, 0, 3), 2, rel_tol=1e-6)
+        assert len(fine) == 2
+        assert len(coarse[0]) == 2
+
+
+class TestWithPeeK:
+    def test_peek_serves_group_queries(self, tie_graph):
+        from repro.core.peek import PeeK
+
+        algo = PeeK(tie_graph, 0, 4)
+        algo.prepare(4)
+        groups = shortest_k_groups(algo, 2)
+        assert [g.distance for g in groups] == pytest.approx([2.0, 3.0])
+
+    def test_pathgroup_len(self):
+        g = PathGroup(distance=1.0)
+        assert len(g) == 0

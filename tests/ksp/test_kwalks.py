@@ -1,0 +1,77 @@
+"""Unit and property tests for the K-shortest-walks extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VertexError
+from repro.graph.build import from_edge_array, from_edge_list
+from repro.ksp.kwalks import k_shortest_walks
+from repro.ksp.yen import yen_ksp
+from repro.sssp.dijkstra import dijkstra
+
+
+class TestBasics:
+    def test_fan_graph_walks_equal_paths(self, fan_graph):
+        # the fan graph is a DAG of disjoint corridors: walks == simple paths
+        walks = k_shortest_walks(fan_graph, 0, 4, 4)
+        assert walks.distances == pytest.approx([2.0, 4.0, 6.0, 20.0])
+        assert all(p.is_simple() for p in walks.paths)
+
+    def test_cycle_produces_non_simple_walks(self):
+        # s -> a -> t with a cycle a -> b -> a
+        g = from_edge_list(
+            4,
+            [(0, 1, 1.0), (1, 3, 1.0), (1, 2, 0.5), (2, 1, 0.5)],
+        )
+        walks = k_shortest_walks(g, 0, 3, 3)
+        assert walks.distances == pytest.approx([2.0, 3.0, 4.0])
+        assert not walks.paths[1].is_simple()
+
+    def test_first_walk_is_shortest_path(self, medium_er):
+        from tests.conftest import random_reachable_pair
+
+        s, t = random_reachable_pair(medium_er, seed=14)
+        walks = k_shortest_walks(medium_er, s, t, 1)
+        assert walks.distances[0] == pytest.approx(
+            float(dijkstra(medium_er, s, target=t).dist[t])
+        )
+
+    def test_bad_args(self, fan_graph):
+        with pytest.raises(VertexError):
+            k_shortest_walks(fan_graph, 99, 4, 1)
+        with pytest.raises(ValueError):
+            k_shortest_walks(fan_graph, 0, 4, 0)
+
+    def test_max_hops_limits_enumeration(self):
+        g = from_edge_list(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        walks = k_shortest_walks(g, 0, 1, 5, max_hops=3)
+        # only hops 1 and 3 walks fit under the cap
+        assert len(walks.paths) == 2
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_walks_lower_bound_simple_paths(seed, k):
+    """The i-th shortest walk never exceeds the i-th shortest simple path."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 20))
+    m = int(rng.integers(n, 4 * n))
+    g = from_edge_array(
+        n,
+        rng.integers(0, n, size=m),
+        rng.integers(0, n, size=m),
+        rng.random(m) + 0.05,
+    )
+    s = 0
+    reach = np.flatnonzero(np.isfinite(dijkstra(g, s).dist))
+    reach = reach[reach != s]
+    if reach.size == 0:
+        return
+    t = int(reach[0])
+    simple = yen_ksp(g, s, t, k).distances
+    walks = k_shortest_walks(g, s, t, k).distances
+    assert walks == sorted(walks)
+    for i in range(min(len(simple), len(walks))):
+        assert walks[i] <= simple[i] + 1e-9

@@ -1,0 +1,73 @@
+"""Focused tests for NC's yellow-region SSSP with green exits."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edge_list
+from repro.graph.generators import erdos_renyi, grid_network
+from repro.ksp.node_classification import NodeClassificationKSP
+from repro.ksp.yen import yen_ksp
+from tests.conftest import random_reachable_pair
+
+
+class TestYellowSearch:
+    def test_exhausted_when_no_red_free_route(self):
+        # s→a→t only; deviating at s with edge (s,a) banned: a is the cut
+        g = from_edge_list(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        algo = NodeClassificationKSP(g, 0, 2)
+        algo._prepare()
+        algo._iteration_tasks = []
+        algo._iteration_serial = 0
+        green = algo._green_mask(frozenset())
+        status, found = algo._yellow_sssp(
+            0, frozenset(), frozenset({(0, 1)}), green
+        )
+        assert status == "exhausted"
+        assert found is None
+
+    def test_found_returns_exact_suffix(self, fan_graph):
+        algo = NodeClassificationKSP(fan_graph, 0, 4)
+        algo._prepare()
+        algo._iteration_tasks = []
+        algo._iteration_serial = 0
+        green = algo._green_mask(frozenset())
+        status, found = algo._yellow_sssp(
+            0, frozenset(), frozenset({(0, 1)}), green
+        )
+        assert status == "found"
+        dist, verts, exact = found
+        assert dist == pytest.approx(4.0)  # next-best corridor via b
+        assert verts[0] == 0 and verts[-1] == 4
+        assert exact
+
+    def test_early_exit_settles_less_than_full_search(self):
+        g = grid_network(10, 10, seed=5)
+        algo = NodeClassificationKSP(g, 0, 99)
+        algo._prepare()
+        algo._iteration_tasks = []
+        algo._iteration_serial = 0
+        green = algo._green_mask(frozenset())
+        before = algo.stats.vertices_settled
+        status, _ = algo._yellow_sssp(0, frozenset(), frozenset({(0, 1)}), green)
+        settled = algo.stats.vertices_settled - before
+        assert status == "found"
+        # with everything green, the search closes at the first exits —
+        # far fewer settles than the 100-vertex graph
+        assert settled < 50
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_on_denser_graphs(self, seed):
+        """Denser graphs exercise the yellow/green interplay harder."""
+        g = erdos_renyi(50, 6.0, seed=seed + 400)
+        s, t = random_reachable_pair(g, seed=seed)
+        got = NodeClassificationKSP(g, s, t).run(10).distances
+        ref = yen_ksp(g, s, t, 10).distances
+        assert np.allclose(got, ref)
+
+    def test_unit_weights_heavy_ties(self):
+        g = grid_network(5, 5, weight_scheme="unit", seed=1)
+        got = NodeClassificationKSP(g, 0, 24).run(12).distances
+        ref = yen_ksp(g, 0, 24, 12).distances
+        assert np.allclose(got, ref)

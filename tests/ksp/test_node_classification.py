@@ -1,0 +1,63 @@
+"""Unit tests for the NC algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.ksp.node_classification import NodeClassificationKSP, nc_ksp
+from repro.ksp.yen import yen_ksp
+from tests.conftest import nx_k_shortest_distances, random_reachable_pair
+
+
+class TestCorrectness:
+    def test_fan_graph(self, fan_graph):
+        res = nc_ksp(fan_graph, 0, 4, 4)
+        assert res.distances == pytest.approx([2.0, 4.0, 6.0, 20.0])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_yen(self, seed):
+        g = erdos_renyi(40, 3.0, seed=seed + 80)
+        s, t = random_reachable_pair(g, seed=seed)
+        assert np.allclose(
+            nc_ksp(g, s, t, 8).distances, yen_ksp(g, s, t, 8).distances
+        )
+
+    def test_matches_networkx(self, small_grid):
+        ref = nx_k_shortest_distances(small_grid, 0, 45, 6)
+        assert np.allclose(nc_ksp(small_grid, 0, 45, 6).distances, ref)
+
+
+class TestColouring:
+    def test_green_mask_basic(self, fan_graph):
+        algo = NodeClassificationKSP(fan_graph, 0, 4)
+        algo._prepare()
+        algo._iteration_tasks = []
+        algo._iteration_serial = 0
+        green = algo._green_mask(frozenset())
+        # everything that can reach t is green with no red vertices
+        assert green[4] and green[1] and green[2] and green[3]
+
+    def test_red_vertex_blocks_subtree(self, fan_graph):
+        algo = NodeClassificationKSP(fan_graph, 0, 4)
+        algo._prepare()
+        algo._iteration_tasks = []
+        algo._iteration_serial = 0
+        green = algo._green_mask(frozenset({4}))
+        # t itself red: nothing is green
+        assert not green.any()
+
+    def test_colour_work_charged_as_serial(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=6)
+        algo = NodeClassificationKSP(medium_er, s, t)
+        algo.run(4)
+        assert any(w > 0 for w in algo.stats.iteration_serial)
+
+
+class TestOverheadProfile:
+    def test_tree_refreshed_each_iteration(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=7)
+        algo = NodeClassificationKSP(medium_er, s, t)
+        k = 5
+        algo.run(k)
+        # one reverse SSSP at prepare + one per accepted path after the first
+        assert algo.stats.sssp_calls >= k - 1

@@ -1,0 +1,87 @@
+"""Unit tests for OptYen."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnreachableTargetError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import erdos_renyi
+from repro.ksp.optyen import OptYenKSP, optyen_ksp
+from repro.ksp.yen import yen_ksp
+from tests.conftest import nx_k_shortest_distances, random_reachable_pair
+
+
+class TestCorrectness:
+    def test_fan_graph(self, fan_graph):
+        res = optyen_ksp(fan_graph, 0, 4, 4)
+        assert res.distances == pytest.approx([2.0, 4.0, 6.0, 20.0])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_yen(self, seed):
+        g = erdos_renyi(40, 3.0, seed=seed + 60)
+        s, t = random_reachable_pair(g, seed=seed)
+        assert np.allclose(
+            optyen_ksp(g, s, t, 8).distances, yen_ksp(g, s, t, 8).distances
+        )
+
+    def test_matches_networkx_on_grid(self, small_grid):
+        ref = nx_k_shortest_distances(small_grid, 0, 63, 8)
+        assert np.allclose(optyen_ksp(small_grid, 0, 63, 8).distances, ref)
+
+    def test_unreachable(self):
+        g = from_edge_list(3, [(0, 1, 1.0)])
+        with pytest.raises(UnreachableTargetError):
+            optyen_ksp(g, 0, 2, 1)
+
+
+class TestExpressPath:
+    def test_first_path_needs_one_sssp_only(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=1)
+        algo = OptYenKSP(medium_er, s, t)
+        algo.run(1)
+        # the single reverse tree answers K=1 with no forward SSSP
+        assert algo.stats.sssp_calls == 1
+
+    def test_express_hits_recorded(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=1)
+        algo = OptYenKSP(medium_er, s, t)
+        algo.run(8)
+        assert algo.stats.express_hits > 0
+
+    def test_fewer_sssp_than_yen(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=4)
+        opt = OptYenKSP(medium_er, s, t)
+        opt.run(10)
+        from repro.ksp.yen import YenKSP
+
+        plain = YenKSP(medium_er, s, t)
+        plain.run(10)
+        assert opt.stats.sssp_calls < plain.stats.sssp_calls
+
+
+class TestInternals:
+    def test_best_first_hop_respects_bans(self, fan_graph):
+        algo = OptYenKSP(fan_graph, 0, 4)
+        algo._prepare()
+        hop = algo._best_first_hop(0, frozenset(), frozenset())
+        assert hop == (1, pytest.approx(2.0))
+        hop2 = algo._best_first_hop(0, frozenset({1}), frozenset())
+        assert hop2 == (2, pytest.approx(4.0))
+        hop3 = algo._best_first_hop(0, frozenset(), frozenset({(0, 1), (0, 2)}))
+        assert hop3 == (3, pytest.approx(6.0))
+
+    def test_no_allowed_hop(self, fan_graph):
+        algo = OptYenKSP(fan_graph, 0, 4)
+        algo._prepare()
+        assert (
+            algo._best_first_hop(
+                0, frozenset({1, 2, 3, 5}), frozenset()
+            )
+            is None
+        )
+
+    def test_tree_suffix_detects_banned(self, fan_graph):
+        algo = OptYenKSP(fan_graph, 0, 4)
+        algo._prepare()
+        assert algo._tree_suffix(0, 1, frozenset()) == (0, 1, 4)
+        assert algo._tree_suffix(0, 1, frozenset({4})) is None

@@ -1,0 +1,100 @@
+"""Tests for the parsimonious sidetrack family (PSB / PSB-v2 / PSB-v3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.ksp.psb import PSBKSP, PSBv2KSP, PSBv3KSP, psb_ksp
+from repro.ksp.sidetrack import SidetrackKSP
+from repro.ksp.yen import yen_ksp
+from tests.conftest import random_reachable_pair
+
+VARIANTS = (PSBKSP, PSBv2KSP, PSBv3KSP)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("cls", VARIANTS)
+    def test_fan_graph(self, fan_graph, cls):
+        res = cls(fan_graph, 0, 4).run(4)
+        assert res.distances == pytest.approx([2.0, 4.0, 6.0, 20.0])
+
+    @pytest.mark.parametrize("cls", VARIANTS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_yen(self, cls, seed):
+        g = erdos_renyi(40, 3.0, seed=seed + 140)
+        s, t = random_reachable_pair(g, seed=seed)
+        assert np.allclose(
+            cls(g, s, t).run(8).distances, yen_ksp(g, s, t, 8).distances
+        )
+
+    def test_wrapper_variants(self, fan_graph):
+        for variant in ("v1", "v2", "v3"):
+            res = psb_ksp(fan_graph, 0, 4, 3, variant=variant)
+            assert res.distances == pytest.approx([2.0, 4.0, 6.0])
+
+
+class TestParsimony:
+    def test_psb_never_exceeds_sb_memory(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=44)
+        sb = SidetrackKSP(medium_er, s, t)
+        sb.run(10)
+        psb = PSBKSP(medium_er, s, t)
+        psb.run(10)
+        assert psb.stats.peak_tree_bytes <= sb.stats.peak_tree_bytes
+
+    def test_v2_threshold_reduces_cache(self, medium_er):
+        """A tight threshold must cache no more trees than a loose one."""
+        s, t = random_reachable_pair(medium_er, seed=44)
+        loose = PSBv2KSP(medium_er, s, t, threshold=100.0)
+        loose.run(10)
+        tight = PSBv2KSP(medium_er, s, t, threshold=1.0)
+        tight.run(10)
+        assert len(tight._trees) <= len(loose._trees)
+        # caching policy must not change results
+        assert np.allclose(
+            PSBv2KSP(medium_er, s, t, threshold=1.0).run(10).distances,
+            PSBv2KSP(medium_er, s, t, threshold=100.0).run(10).distances,
+        )
+
+    def test_v2_bad_threshold(self, fan_graph):
+        with pytest.raises(ValueError):
+            PSBv2KSP(fan_graph, 0, 4, threshold=0.5)
+
+    def test_v3_budget_bounds_cache(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=45)
+        tiny_budget = PSBv3KSP(medium_er, s, t, memory_budget_bytes=1)
+        tiny_budget.run(10)
+        roomy = PSBv3KSP(medium_er, s, t, memory_budget_bytes=1 << 30)
+        roomy.run(10)
+        assert (
+            tiny_budget.stats.peak_tree_bytes <= roomy.stats.peak_tree_bytes
+        )
+
+    def test_v3_bad_budget(self, fan_graph):
+        with pytest.raises(ValueError):
+            PSBv3KSP(fan_graph, 0, 4, memory_budget_bytes=0)
+
+    def test_v3_threshold_adapts_downward(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=46)
+        algo = PSBv3KSP(medium_er, s, t, memory_budget_bytes=1)
+        start = algo.threshold
+        algo.run(8)
+        assert algo.threshold <= start
+
+    def test_discarded_tree_recomputed_correctly(self, medium_er):
+        """Rebuilding a discarded tree must not corrupt work accounting."""
+        s, t = random_reachable_pair(medium_er, seed=47)
+        algo = PSBv2KSP(medium_er, s, t, threshold=1.0)  # caches almost nothing
+        res = algo.run(8)
+        ref = yen_ksp(medium_er, s, t, 8)
+        assert np.allclose(res.distances, ref.distances)
+        assert algo.stats.edges_relaxed >= 0
+
+
+class TestRegistry:
+    def test_psb_in_registry(self, fan_graph):
+        from repro.ksp import make_algorithm
+
+        for name in ("PSB", "PSB-v2", "PSB-v3"):
+            res = make_algorithm(name, fan_graph, 0, 4).run(2)
+            assert res.distances == pytest.approx([2.0, 4.0])

@@ -1,0 +1,36 @@
+"""Unit tests for the algorithm registry."""
+
+import numpy as np
+import pytest
+
+from repro.ksp.registry import ALGORITHMS, make_algorithm
+
+
+def test_registry_has_paper_names():
+    for name in ("Yen", "NC", "OptYen", "SB", "SB*", "PeeK", "PNC"):
+        assert name in ALGORITHMS
+
+
+def test_make_algorithm_runs(fan_graph):
+    for name in ALGORITHMS:
+        algo = make_algorithm(name, fan_graph, 0, 4)
+        res = algo.run(3)
+        assert res.distances == pytest.approx([2.0, 4.0, 6.0])
+
+
+def test_unknown_name(fan_graph):
+    with pytest.raises(KeyError, match="unknown algorithm"):
+        make_algorithm("Dijkstra++", fan_graph, 0, 4)
+
+
+def test_all_algorithms_agree(medium_er):
+    from tests.conftest import random_reachable_pair
+
+    s, t = random_reachable_pair(medium_er, seed=42)
+    results = {
+        name: make_algorithm(name, medium_er, s, t).run(6).distances
+        for name in ALGORITHMS
+    }
+    base = results["Yen"]
+    for name, got in results.items():
+        assert np.allclose(got, base), name

@@ -1,0 +1,83 @@
+"""Unit tests for the sidetrack-based algorithms (SB and SB*)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.ksp.sidetrack import SidetrackKSP, sb_ksp
+from repro.ksp.sidetrack_star import SidetrackStarKSP, sb_star_ksp
+from repro.ksp.yen import yen_ksp
+from tests.conftest import nx_k_shortest_distances, random_reachable_pair
+
+
+class TestCorrectness:
+    def test_fan_graph_sb(self, fan_graph):
+        assert sb_ksp(fan_graph, 0, 4, 4).distances == pytest.approx(
+            [2.0, 4.0, 6.0, 20.0]
+        )
+
+    def test_fan_graph_sb_star(self, fan_graph):
+        assert sb_star_ksp(fan_graph, 0, 4, 4).distances == pytest.approx(
+            [2.0, 4.0, 6.0, 20.0]
+        )
+
+    @pytest.mark.parametrize("cls", [SidetrackKSP, SidetrackStarKSP])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_yen(self, cls, seed):
+        g = erdos_renyi(40, 3.0, seed=seed + 100)
+        s, t = random_reachable_pair(g, seed=seed)
+        got = cls(g, s, t).run(8).distances
+        assert np.allclose(got, yen_ksp(g, s, t, 8).distances)
+
+    def test_matches_networkx(self, small_grid):
+        ref = nx_k_shortest_distances(small_grid, 0, 63, 8)
+        assert np.allclose(sb_ksp(small_grid, 0, 63, 8).distances, ref)
+        assert np.allclose(sb_star_ksp(small_grid, 0, 63, 8).distances, ref)
+
+
+class TestTreeReuse:
+    def test_trees_cached_per_removal_set(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=9)
+        algo = SidetrackKSP(medium_er, s, t)
+        algo.run(6)
+        # far fewer trees than deviation searches: prefixes repeat
+        searches = sum(len(ts) for ts in algo.stats.iteration_tasks)
+        assert len(algo._trees) <= searches
+
+    def test_sb_star_settles_less(self, medium_er):
+        """The resumable trees should do less SSSP work than full trees."""
+        s, t = random_reachable_pair(medium_er, seed=9)
+        eager = SidetrackKSP(medium_er, s, t)
+        eager.run(8)
+        lazy = SidetrackStarKSP(medium_er, s, t)
+        lazy.run(8)
+        eager_settled = sum(
+            tr.stats.vertices_settled for tr in eager._trees.values()
+        )
+        lazy_settled = sum(
+            tr.stats.vertices_settled for tr in lazy._trees.values()
+        )
+        assert lazy_settled <= eager_settled
+
+    def test_memory_tracked(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=9)
+        algo = SidetrackKSP(medium_er, s, t)
+        algo.run(6)
+        assert algo.stats.peak_tree_bytes > 0
+
+    def test_sb_memory_grows_with_k(self, medium_er):
+        """The paper's 'obvious memory issue': more paths, more trees."""
+        s, t = random_reachable_pair(medium_er, seed=5)
+        small = SidetrackKSP(medium_er, s, t)
+        small.run(2)
+        big = SidetrackKSP(medium_er, s, t)
+        big.run(12)
+        assert big.stats.peak_tree_bytes >= small.stats.peak_tree_bytes
+
+
+class TestExpressBehaviour:
+    def test_mostly_express(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=3)
+        algo = SidetrackStarKSP(medium_er, s, t)
+        algo.run(8)
+        assert algo.stats.express_hits > algo.stats.repairs

@@ -1,0 +1,132 @@
+"""Unit tests for Yen's algorithm (and the deviation framework it drives)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KSPError, UnreachableTargetError, VertexError
+from repro.graph.build import from_edge_list
+from repro.ksp.yen import YenKSP, yen_ksp
+from tests.conftest import nx_k_shortest_distances
+
+
+class TestFanGraph:
+    def test_known_distances(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 4)
+        assert res.distances == pytest.approx([2.0, 4.0, 6.0, 20.0])
+
+    def test_paths_are_simple(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 4)
+        assert all(p.is_simple() for p in res.paths)
+
+    def test_paths_start_and_end_correctly(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 3)
+        for p in res.paths:
+            assert p.source == 0
+            assert p.target == 4
+
+    def test_exhaustion_returns_fewer(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 10)
+        assert len(res.paths) == 4  # only 4 simple paths exist
+        assert res.k_requested == 10
+
+    def test_k_one_is_shortest_path(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 1)
+        assert res.paths[0].vertices == (0, 1, 4)
+
+
+class TestEdgeCases:
+    def test_unreachable_target(self):
+        g = from_edge_list(3, [(0, 1, 1.0)])
+        with pytest.raises(UnreachableTargetError):
+            yen_ksp(g, 0, 2, 2)
+
+    def test_source_equals_target(self, fan_graph):
+        with pytest.raises(KSPError):
+            yen_ksp(fan_graph, 0, 0, 1)
+
+    def test_bad_vertices(self, fan_graph):
+        with pytest.raises(VertexError):
+            yen_ksp(fan_graph, 0, 77, 1)
+        with pytest.raises(VertexError):
+            yen_ksp(fan_graph, -1, 4, 1)
+
+    def test_bad_k(self, fan_graph):
+        with pytest.raises(ValueError):
+            yen_ksp(fan_graph, 0, 4, 0)
+
+    def test_two_vertex_graph(self):
+        g = from_edge_list(2, [(0, 1, 3.0)])
+        res = yen_ksp(g, 0, 1, 5)
+        assert res.distances == [3.0]
+
+    def test_parallel_edges_deduped_at_build(self):
+        g = from_edge_list(2, [(0, 1, 3.0), (0, 1, 1.0)])
+        res = yen_ksp(g, 0, 1, 5)
+        # dedup keeps only the lightest copy: a single path remains
+        assert res.distances == [1.0]
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        from repro.graph.generators import erdos_renyi
+        from tests.conftest import random_reachable_pair
+
+        g = erdos_renyi(35, 3.0, seed=seed + 40)
+        s, t = random_reachable_pair(g, seed=seed)
+        ref = nx_k_shortest_distances(g, s, t, 7)
+        got = yen_ksp(g, s, t, 7).distances
+        assert np.allclose(got, ref)
+
+    def test_grid(self, small_grid):
+        ref = nx_k_shortest_distances(small_grid, 0, 63, 6)
+        got = yen_ksp(small_grid, 0, 63, 6).distances
+        assert np.allclose(got, ref)
+
+
+class TestLawler:
+    def test_lawler_same_results(self, medium_er):
+        from tests.conftest import random_reachable_pair
+
+        s, t = random_reachable_pair(medium_er, seed=2)
+        plain = YenKSP(medium_er, s, t, lawler=False).run(8)
+        fast = YenKSP(medium_er, s, t, lawler=True).run(8)
+        assert np.allclose(plain.distances, fast.distances)
+
+    def test_lawler_fewer_sssp_calls(self, medium_er):
+        from tests.conftest import random_reachable_pair
+
+        s, t = random_reachable_pair(medium_er, seed=2)
+        plain = YenKSP(medium_er, s, t, lawler=False)
+        plain.run(8)
+        fast = YenKSP(medium_er, s, t, lawler=True)
+        fast.run(8)
+        assert fast.stats.sssp_calls <= plain.stats.sssp_calls
+
+
+class TestStats:
+    def test_stats_populated(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 3)
+        st = res.stats
+        assert st.sssp_calls >= 1
+        assert st.candidates_generated >= 2
+        assert len(st.iteration_tasks) >= 1
+        assert st.total_work > 0
+
+    def test_result_coverage_helpers(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 2)
+        assert res.covered_vertices() == {0, 1, 2, 4}
+        assert (0, 1) in res.covered_edges()
+
+
+class TestDeadline:
+    def test_deadline_raises(self, medium_er):
+        import time
+
+        from repro.ksp.base import KSPTimeout
+        from tests.conftest import random_reachable_pair
+
+        s, t = random_reachable_pair(medium_er, seed=3)
+        algo = YenKSP(medium_er, s, t, deadline=time.perf_counter() - 1.0)
+        with pytest.raises(KSPTimeout):
+            algo.run(50)

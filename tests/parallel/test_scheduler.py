@@ -1,0 +1,98 @@
+"""Unit tests for the shared-memory scheduling simulator."""
+
+import pytest
+
+from repro.parallel.scheduler import MachineModel, simulate
+from repro.parallel.workload import JobKind, Phase, TaskPhase, Workload
+
+
+def data_wl(work=100_000, phases=4):
+    return Workload([Phase(JobKind.DATA, work // phases) for _ in range(phases)])
+
+
+class TestBasicLaws:
+    def test_one_thread_equals_serial_work(self):
+        wl = data_wl()
+        rep = simulate(wl, 1)
+        assert rep.time_units == wl.total_work
+
+    def test_more_threads_never_slower(self):
+        wl = data_wl()
+        times = [simulate(wl, p).time_units for p in (1, 2, 4, 8, 16, 32)]
+        for a, b in zip(times, times[1:]):
+            assert b <= a + 1e-9
+
+    def test_speedup_bounded_by_thread_count(self):
+        wl = data_wl()
+        for p in (2, 4, 8):
+            rep = simulate(wl, p)
+            assert rep.speedup_vs_serial <= p + 1e-9
+
+    def test_serial_phase_does_not_scale(self):
+        wl = Workload([Phase(JobKind.SERIAL, 1000)])
+        assert simulate(wl, 32).time_units == 1000
+
+    def test_bandwidth_cap_limits_data_speedup(self):
+        model = MachineModel(sync_overhead=0.0, bandwidth_cap=4.0)
+        wl = Workload([Phase(JobKind.DATA, 1_000_000)])
+        rep = simulate(wl, 32, model)
+        assert rep.speedup_vs_serial <= 4.0 + 1e-9
+
+    def test_tiny_phase_engages_one_thread(self):
+        model = MachineModel(min_chunk=1000.0, sync_overhead=5.0)
+        wl = Workload([Phase(JobKind.DATA, 10)])
+        # work below one chunk: single thread, no barrier
+        assert simulate(wl, 32, model).time_units == 10
+
+    def test_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            simulate(data_wl(), 0)
+
+
+class TestTaskPhases:
+    def test_single_task_uses_inner_level(self):
+        model = MachineModel(sync_overhead=0.0, task_spawn=0.0)
+        wl = Workload([TaskPhase(tasks=(10_000,))])
+        t1 = simulate(wl, 1, model).time_units
+        t8 = simulate(wl, 8, model).time_units
+        assert t8 < t1  # the paper's inner (per-SSSP) parallelism
+        assert t8 >= t1 / 8
+
+    def test_many_equal_tasks_balance(self):
+        model = MachineModel(
+            sync_overhead=0.0, task_spawn=0.0, inner_penalty=1e9,
+            bandwidth_cap=1e9,
+        )
+        # inner level disabled (penalty huge): pure outer-level scheduling
+        wl = Workload([TaskPhase(tasks=(100,) * 8)])
+        assert simulate(wl, 8, model).time_units == pytest.approx(100.0, rel=0.01)
+
+    def test_lpt_handles_skew(self):
+        model = MachineModel(sync_overhead=0.0, task_spawn=0.0,
+                             inner_penalty=1e9, bandwidth_cap=1e9)
+        wl = Workload([TaskPhase(tasks=(800, 100, 100, 100, 100))])
+        # the long task dominates the makespan
+        rep = simulate(wl, 4, model)
+        assert rep.time_units == pytest.approx(800.0, rel=0.01)
+
+    def test_empty_task_phase(self):
+        wl = Workload([TaskPhase(tasks=())])
+        assert simulate(wl, 4).time_units == 0.0
+
+
+class TestReport:
+    def test_phase_breakdown(self):
+        wl = Workload(
+            [Phase(JobKind.DATA, 100, "a"), Phase(JobKind.SERIAL, 50, "b")]
+        )
+        rep = simulate(wl, 2)
+        assert len(rep.phase_times) == 2
+        assert rep.phase_times[0][0] == "a"
+        assert rep.total_work == 150
+
+    def test_model_helpers(self):
+        m = MachineModel()
+        assert m.barrier(1) == 0.0
+        assert m.barrier(8) > m.barrier(2)
+        assert m.inner_speedup(1) == 1.0
+        assert 1.0 < m.inner_speedup(8) <= 8.0

@@ -1,0 +1,89 @@
+"""Hypothesis properties of the scheduling simulator.
+
+The cost model is the load-bearing substitution of this reproduction
+(DESIGN.md §1), so its sanity laws get property coverage: simulated time is
+conserved at one thread, never increases with more threads, never beats
+the work/threads lower bound, and phase order never matters.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.scheduler import MachineModel, simulate
+from repro.parallel.workload import JobKind, Phase, TaskPhase, Workload
+
+
+@st.composite
+def workloads(draw):
+    phases = []
+    for _ in range(draw(st.integers(1, 12))):
+        kind = draw(
+            st.sampled_from(
+                [JobKind.DATA, JobKind.EMBARRASSING, JobKind.SERIAL, "task"]
+            )
+        )
+        if kind == "task":
+            tasks = tuple(
+                draw(
+                    st.lists(
+                        st.integers(1, 5000), min_size=1, max_size=10
+                    )
+                )
+            )
+            phases.append(TaskPhase(tasks=tasks))
+        else:
+            phases.append(Phase(kind, draw(st.integers(1, 100_000))))
+    return Workload(phases)
+
+
+THREADS = st.sampled_from([1, 2, 3, 4, 8, 16, 32, 64])
+
+
+@given(workloads())
+@settings(max_examples=60, deadline=None)
+def test_one_thread_conserves_work(wl):
+    assert simulate(wl, 1).time_units == wl.total_work
+
+
+@given(workloads(), THREADS, THREADS)
+@settings(max_examples=60, deadline=None)
+def test_monotone_in_threads(wl, p1, p2):
+    lo, hi = min(p1, p2), max(p1, p2)
+    t_lo = simulate(wl, lo).time_units
+    t_hi = simulate(wl, hi).time_units
+    assert t_hi <= t_lo * (1.0 + 1e-9)
+
+
+@given(workloads(), THREADS)
+@settings(max_examples=60, deadline=None)
+def test_never_beats_perfect_speedup(wl, p):
+    t = simulate(wl, p).time_units
+    assert t >= wl.total_work / p - 1e-6
+
+
+@given(workloads(), THREADS)
+@settings(max_examples=40, deadline=None)
+def test_phase_order_irrelevant(wl, p):
+    fwd = simulate(wl, p).time_units
+    rev = simulate(Workload(list(reversed(wl.phases))), p).time_units
+    assert abs(fwd - rev) < 1e-6
+
+
+@given(workloads(), THREADS)
+@settings(max_examples=40, deadline=None)
+def test_serial_fraction_lower_bound(wl, p):
+    """Amdahl: serial phases bound the simulated time from below."""
+    serial = sum(
+        ph.work
+        for ph in wl.phases
+        if isinstance(ph, Phase) and ph.kind is JobKind.SERIAL
+    )
+    assert simulate(wl, p).time_units >= serial - 1e-9
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_bandwidth_cap_respected(wl):
+    model = MachineModel(sync_overhead=0.0, task_spawn=0.0, bandwidth_cap=3.0)
+    t = simulate(wl, 64, model).time_units
+    assert t >= wl.total_work / 3.0 - 1e-6

@@ -1,0 +1,88 @@
+"""Unit tests for workload construction from real algorithm statistics."""
+
+import pytest
+
+from repro.core.peek import PeeK, peek_ksp
+from repro.ksp.optyen import optyen_ksp
+from repro.parallel.workload import (
+    JobKind,
+    Phase,
+    TaskPhase,
+    Workload,
+    baseline_ksp_workload,
+    compaction_workload,
+    ksp_workload,
+    peek_workload,
+    pruning_workload,
+)
+from tests.conftest import random_reachable_pair
+
+
+class TestWorkloadAlgebra:
+    def test_concatenation(self):
+        a = Workload([Phase(JobKind.DATA, 10)], label="a")
+        b = Workload([Phase(JobKind.SERIAL, 5)])
+        c = a + b
+        assert c.num_phases == 2
+        assert c.total_work == 15
+        assert c.label == "a"
+
+    def test_task_phase_work(self):
+        tp = TaskPhase(tasks=(3, 4, 5))
+        assert tp.work == 12
+
+    def test_serial_time_equals_total_work(self):
+        wl = Workload([Phase(JobKind.DATA, 7), TaskPhase(tasks=(1, 2))])
+        assert wl.serial_time_units() == 10
+
+
+class TestBuilders:
+    @pytest.fixture
+    def peek_result(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=17)
+        return peek_ksp(medium_er, s, t, 6)
+
+    def test_pruning_workload_phases(self, peek_result):
+        wl = pruning_workload(peek_result.prune.stats)
+        kinds = {p.kind for p in wl.phases}
+        assert JobKind.DATA in kinds
+        assert JobKind.EMBARRASSING in kinds  # path validation
+        assert wl.total_work > 0
+
+    def test_pruning_workload_dijkstra_kernel_is_serial(self, medium_er):
+        from repro.core.pruning import k_upper_bound_prune
+
+        s, t = random_reachable_pair(medium_er, seed=17)
+        pr = k_upper_bound_prune(medium_er, s, t, 4, kernel="dijkstra")
+        wl = pruning_workload(pr.stats)
+        assert any(p.kind is JobKind.SERIAL for p in wl.phases)
+
+    def test_compaction_workload(self, peek_result):
+        wl = compaction_workload(peek_result.compaction)
+        assert wl.num_phases == 1
+        assert wl.phases[0].kind is JobKind.EMBARRASSING
+
+    def test_ksp_workload_task_phases(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=17)
+        res = optyen_ksp(medium_er, s, t, 6)
+        wl = ksp_workload(res.stats)
+        assert any(isinstance(p, TaskPhase) for p in wl.phases)
+
+    def test_peek_workload_composes_stages(self, peek_result):
+        wl = peek_workload(peek_result)
+        assert wl.label == "peek"
+        labels = [getattr(p, "label", "") for p in wl.phases]
+        assert any("sssp" in lbl for lbl in labels)
+        assert any("compact" in lbl for lbl in labels)
+        assert any("ksp" in lbl for lbl in labels)
+
+    def test_baseline_workload_label(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=17)
+        res = optyen_ksp(medium_er, s, t, 4)
+        assert baseline_ksp_workload(res.stats).label == "baseline-ksp"
+
+    def test_base_peek_variant_still_builds(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=17)
+        res = PeeK(medium_er, s, t, prune=False, compact=False).run(3)
+        wl = peek_workload(res)
+        assert wl.total_work > 0

@@ -1,0 +1,43 @@
+"""Unit tests for the Bellman–Ford reference kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VertexError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import erdos_renyi
+from repro.paths import INF
+from repro.sssp.bellman_ford import bellman_ford
+from repro.sssp.dijkstra import dijkstra
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_matches_dijkstra(seed):
+    g = erdos_renyi(80, 3.0, seed=seed)
+    bf = bellman_ford(g, 0).dist
+    dj = dijkstra(g, 0).dist
+    assert np.allclose(
+        np.nan_to_num(bf, posinf=-1), np.nan_to_num(dj, posinf=-1)
+    )
+
+
+def test_early_exit_fewer_rounds_than_n(medium_er):
+    res = bellman_ford(medium_er, 0)
+    assert res.stats.phases < medium_er.num_vertices - 1
+
+
+def test_unreachable(diamond_graph):
+    g = from_edge_list(3, [(0, 1, 1.0)])
+    res = bellman_ford(g, 0)
+    assert res.dist[2] == INF
+
+
+def test_bad_source(diamond_graph):
+    with pytest.raises(VertexError):
+        bellman_ford(diamond_graph, -1)
+
+
+def test_parent_consistency(diamond_graph):
+    res = bellman_ford(diamond_graph, 0)
+    assert res.parent[0] == 0
+    assert res.parent[3] == 1  # best route via vertex 1

@@ -1,0 +1,113 @@
+"""Hypothesis property tests: all SSSP kernels agree on arbitrary graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edge_array
+from repro.sssp.bellman_ford import bellman_ford
+from repro.sssp.delta_stepping import delta_stepping
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.lazy_dijkstra import LazyDijkstra
+
+
+@st.composite
+def graphs(draw, max_n=24, max_m=80):
+    """An arbitrary positively-weighted digraph plus a source vertex."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    w = draw(
+        st.lists(
+            st.floats(
+                min_value=0.001,
+                max_value=100.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    g = from_edge_array(
+        n,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(w, dtype=np.float64),
+    )
+    source = draw(st.integers(0, n - 1))
+    return g, source
+
+
+def normalize(dist):
+    return np.nan_to_num(dist, posinf=-1.0)
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_delta_stepping_equals_dijkstra(case):
+    g, s = case
+    assert np.allclose(
+        normalize(delta_stepping(g, s).dist), normalize(dijkstra(g, s).dist)
+    )
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_bellman_ford_equals_dijkstra(case):
+    g, s = case
+    assert np.allclose(
+        normalize(bellman_ford(g, s).dist), normalize(dijkstra(g, s).dist)
+    )
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_lazy_dijkstra_completion_equals_dijkstra(case):
+    g, s = case
+    ld = LazyDijkstra(g, s)
+    assert np.allclose(
+        normalize(ld.run_to_completion().dist), normalize(dijkstra(g, s).dist)
+    )
+
+
+@given(graphs(), st.floats(min_value=0.01, max_value=200.0))
+@settings(max_examples=40, deadline=None)
+def test_delta_stepping_delta_invariance(case, delta):
+    """Distances must not depend on the bucket width."""
+    g, s = case
+    a = delta_stepping(g, s, delta=delta).dist
+    b = delta_stepping(g, s).dist
+    assert np.allclose(normalize(a), normalize(b))
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_triangle_inequality_of_results(case):
+    """dist[v] <= dist[u] + w(u, v) for every edge — the SSSP fixpoint."""
+    g, s = case
+    dist = dijkstra(g, s).dist
+    src = g.edge_sources()
+    for e in range(g.num_edges):
+        u, v = int(src[e]), int(g.indices[e])
+        if np.isfinite(dist[u]):
+            assert dist[v] <= dist[u] + g.weights[e] + 1e-9
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None)
+def test_reverse_graph_distance_symmetry(case):
+    """dist_G(s→v) == dist_rev(v→s) for the transpose graph."""
+    g, s = case
+    fwd = dijkstra(g, s).dist
+    rev = dijkstra(g.reverse(), s).dist
+    # reverse-of-reverse sanity: re-reversing recovers forward distances
+    fwd2 = dijkstra(g.reverse().reverse(), s).dist
+    assert np.allclose(normalize(fwd), normalize(fwd2))
+    # both are s-rooted but on different graphs; only the source matches
+    assert fwd[s] == rev[s] == 0.0

@@ -1,0 +1,34 @@
+"""Unit tests for the SSSP result/stat containers."""
+
+import numpy as np
+
+from repro.paths import INF
+from repro.sssp.result import SSSPResult, SSSPStats
+
+
+class TestStats:
+    def test_total_work(self):
+        st = SSSPStats(edges_relaxed=7, vertices_settled=3)
+        assert st.total_work == 10
+
+    def test_defaults(self):
+        st = SSSPStats()
+        assert st.total_work == 0
+        assert st.phase_work == []
+
+    def test_phase_work_independent_instances(self):
+        a, b = SSSPStats(), SSSPStats()
+        a.phase_work.append(1)
+        assert b.phase_work == []
+
+
+class TestResult:
+    def test_reached(self):
+        res = SSSPResult(
+            source=0,
+            dist=np.array([0.0, 1.0, INF]),
+            parent=np.array([0, 0, -1]),
+        )
+        assert res.reached(1)
+        assert not res.reached(2)
+        assert res.num_reached() == 2

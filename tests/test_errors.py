@@ -1,0 +1,37 @@
+"""The exception hierarchy contract: one catchable base class."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "GraphFormatError",
+        "InvalidWeightError",
+        "VertexError",
+        "UnreachableTargetError",
+        "KSPError",
+        "PartitionError",
+        "CommError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+
+def test_vertex_error_is_also_index_error():
+    # so generic sequence-style code can catch it naturally
+    assert issubclass(errors.VertexError, IndexError)
+
+
+def test_one_except_clause_catches_library_errors(fan_graph):
+    from repro import peek_ksp
+
+    with pytest.raises(errors.ReproError):
+        peek_ksp(fan_graph, 0, 0, 1)  # source == target -> KSPError
+
+
+def test_ksp_timeout_is_ksp_error():
+    from repro.ksp.base import KSPTimeout
+
+    assert issubclass(KSPTimeout, errors.KSPError)

@@ -1,0 +1,41 @@
+"""Every example script must run end-to-end and print sensible output."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship six
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    """Run each example in-process (fast) and check it prints something."""
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out.strip()) > 0
+
+
+def test_quickstart_via_subprocess():
+    """One example is additionally exercised exactly as a user would."""
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "PeeK" in proc.stdout
+    assert "speedup" in proc.stdout

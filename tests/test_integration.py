@@ -1,0 +1,85 @@
+"""Cross-module integration tests: the full system on suite graphs.
+
+These tie the layers together the way the benchmark harness does —
+generator suite → pruning → compaction → KSP → parallel/distributed
+models — and assert the end-to-end invariants the paper's experiments rely
+on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentRunner
+from repro.core.peek import PeeK, peek_ksp
+from repro.distributed import CommModel, distributed_peek
+from repro.graph.suite import SUITE_NAMES, random_st_pairs, suite_graph
+from repro.ksp import make_algorithm
+from repro.parallel import peek_workload, simulate
+
+
+@pytest.fixture(scope="module")
+def tiny_cases():
+    cases = []
+    for name in SUITE_NAMES:
+        g = suite_graph(name, "tiny")
+        s, t = random_st_pairs(g, 1, seed=99)[0]
+        cases.append((name, g, s, t))
+    return cases
+
+
+class TestEndToEndAgreement:
+    def test_all_algorithms_all_suite_graphs(self, tiny_cases):
+        """Every algorithm, every suite family, identical distances."""
+        for name, g, s, t in tiny_cases:
+            base = None
+            for method in ("Yen", "OptYen", "NC", "SB", "SB*", "PNC", "PeeK"):
+                got = make_algorithm(method, g, s, t).run(6).distances
+                if base is None:
+                    base = got
+                else:
+                    assert np.allclose(got, base), (name, method)
+
+    def test_unit_weight_graphs_tie_heavy(self, tiny_cases):
+        """-U graphs produce integer distances with heavy ties; grouping
+        and ordering must stay consistent."""
+        for name, g, s, t in tiny_cases:
+            if not name.endswith("U"):
+                continue
+            res = peek_ksp(g, s, t, 8)
+            assert all(float(d).is_integer() for d in res.distances)
+            assert res.distances == sorted(res.distances)
+
+
+class TestPipelineInvariants:
+    def test_prune_then_parallel_simulation(self, tiny_cases):
+        """PeeK results feed the workload builders and the simulator for
+        every suite family without shape errors, and speedups are sane."""
+        for name, g, s, t in tiny_cases:
+            res = PeeK(g, s, t).run(4)
+            wl = peek_workload(res)
+            rep1 = simulate(wl, 1)
+            rep32 = simulate(wl, 32)
+            assert rep1.time_units == wl.total_work
+            assert rep32.time_units <= rep1.time_units
+
+    def test_distributed_consistency_one_family(self):
+        g = suite_graph("LJ", "tiny")
+        s, t = random_st_pairs(g, 1, seed=98)[0]
+        serial = peek_ksp(g, s, t, 4).distances
+        model = CommModel().scaled_for(g.num_edges)
+        for nodes in (1, 3):
+            rep = distributed_peek(g, s, t, 4, nodes, model=model)
+            assert np.allclose(rep.result.distances, serial)
+
+
+class TestHarnessRoundTrip:
+    def test_runner_cross_validates_methods(self):
+        runner = ExperimentRunner(
+            scale="tiny", pairs_per_graph=1, deadline_seconds=60
+        )
+        records = []
+        for method in ("OptYen", "SB*", "PeeK"):
+            s, t = runner.pairs("GW")[0]
+            records.append(runner.time_run(method, "GW", s, t, 6))
+        runner.check_same_distances(records)
+        assert all(r.ok for r in records)

@@ -1,0 +1,52 @@
+"""Opt-in medium-scale smoke tests (set ``REPRO_RUN_SLOW=1`` to enable).
+
+The regular suite runs at tiny/small scale in seconds; these verify the
+same invariants hold at the ``medium`` preset (30k-70k vertices, 10⁵–10⁶
+edges, tens of seconds per test) — the configuration EXPERIMENTS.md's
+scale-convergence argument relies on.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+slow = pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW"),
+    reason="set REPRO_RUN_SLOW=1 to run medium-scale smoke tests",
+)
+
+
+@slow
+def test_medium_suite_generates():
+    from repro.graph.suite import SUITE_NAMES, suite_graph
+
+    for name in SUITE_NAMES:
+        g = suite_graph(name, "medium")
+        assert g.num_vertices >= 16_000
+        assert g.num_edges > g.num_vertices
+
+
+@slow
+def test_medium_peek_agrees_with_optyen():
+    from repro.core.peek import peek_ksp
+    from repro.graph.suite import random_st_pairs, suite_graph
+    from repro.ksp.optyen import optyen_ksp
+
+    g = suite_graph("GT", "medium")
+    (s, t), = random_st_pairs(g, 1, seed=5)
+    ref = optyen_ksp(g, s, t, 8).distances
+    got = peek_ksp(g, s, t, 8).distances
+    assert np.allclose(got, ref)
+
+
+@slow
+def test_medium_pruning_converges_toward_paper():
+    """The EXPERIMENTS.md convergence claim, as an executable check."""
+    from repro.core.pruning import k_upper_bound_prune
+    from repro.graph.suite import random_st_pairs, suite_graph
+
+    g = suite_graph("GT", "medium")
+    (s, t), = random_st_pairs(g, 1, seed=5)
+    pr = k_upper_bound_prune(g, s, t, 8)
+    assert pr.pruned_vertex_fraction > 0.99  # paper: 98.4% average

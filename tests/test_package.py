@@ -1,0 +1,34 @@
+"""Public API surface: the names README and the paper-reader expect."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_names_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_top_level_workflow(fan_graph):
+    result = repro.peek_ksp(fan_graph, 0, 4, 3)
+    assert len(result.paths) == 3
+    assert isinstance(result.paths[0], repro.Path)
+
+
+def test_algorithm_registry_exposed():
+    assert "PeeK" in repro.ALGORITHMS
+    assert callable(repro.make_algorithm)
+
+
+def test_docstring_example_runs():
+    """The __init__ docstring example must stay true."""
+    from repro.graph.generators import grid_network
+
+    g = grid_network(20, 20, seed=1)
+    result = repro.peek_ksp(g, 0, 399, k=4)
+    assert len(result.paths) == 4
+    d = result.distances
+    assert d == sorted(d)

@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.paths`."""
+
+import numpy as np
+import pytest
+
+from repro.paths import (
+    INF,
+    Path,
+    concatenate,
+    is_simple,
+    path_distance,
+    reconstruct_path,
+    reconstruct_reverse_path,
+)
+
+
+class TestPath:
+    def test_basic_properties(self):
+        p = Path(distance=3.5, vertices=(0, 2, 5))
+        assert p.source == 0
+        assert p.target == 5
+        assert p.num_edges == 2
+        assert len(p) == 3
+        assert p.edges() == [(0, 2), (2, 5)]
+
+    def test_single_vertex_path(self):
+        p = Path(distance=0.0, vertices=(7,))
+        assert p.source == p.target == 7
+        assert p.num_edges == 0
+        assert p.edges() == []
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Path(distance=0.0, vertices=())
+
+    def test_simplicity(self):
+        assert Path(distance=1.0, vertices=(0, 1, 2)).is_simple()
+        assert not Path(distance=1.0, vertices=(0, 1, 0)).is_simple()
+
+    def test_ordering_by_distance_then_vertices(self):
+        a = Path(distance=1.0, vertices=(0, 2))
+        b = Path(distance=2.0, vertices=(0, 1))
+        c = Path(distance=1.0, vertices=(0, 3))
+        assert sorted([b, c, a]) == [a, c, b]
+
+    def test_paths_hashable_and_equal(self):
+        a = Path(distance=1.0, vertices=(0, 1))
+        b = Path(distance=1.0, vertices=(0, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestIsSimple:
+    def test_simple(self):
+        assert is_simple([1, 2, 3])
+
+    def test_not_simple(self):
+        assert not is_simple([1, 2, 1])
+
+    def test_empty_is_simple(self):
+        assert is_simple([])
+
+
+class TestPathDistance:
+    def test_recomputes_weight(self, diamond_graph):
+        assert path_distance([0, 1, 3], diamond_graph) == pytest.approx(2.0)
+
+    def test_missing_edge_raises(self, diamond_graph):
+        with pytest.raises(KeyError):
+            path_distance([1, 0], diamond_graph)
+
+    def test_single_vertex_distance_zero(self, diamond_graph):
+        assert path_distance([2], diamond_graph) == 0.0
+
+
+class TestReconstruct:
+    def test_forward(self):
+        parent = np.array([0, 0, 1, 2], dtype=np.int64)
+        assert reconstruct_path(parent, 0, 3) == [0, 1, 2, 3]
+
+    def test_forward_source_itself(self):
+        parent = np.array([0, -1], dtype=np.int64)
+        assert reconstruct_path(parent, 0, 0) == [0]
+
+    def test_forward_unreached(self):
+        parent = np.array([0, -1], dtype=np.int64)
+        assert reconstruct_path(parent, 0, 1) is None
+
+    def test_forward_cycle_detected(self):
+        parent = np.array([0, 2, 1], dtype=np.int64)
+        with pytest.raises(RuntimeError):
+            reconstruct_path(parent, 0, 2)
+
+    def test_reverse(self):
+        # next-hop array toward target 3
+        parent = np.array([1, 2, 3, 3], dtype=np.int64)
+        assert reconstruct_reverse_path(parent, 0, 3) == [0, 1, 2, 3]
+
+    def test_reverse_unreached(self):
+        parent = np.array([-1, 3, 3, 3], dtype=np.int64)
+        assert reconstruct_reverse_path(parent, 0, 3) is None
+
+
+class TestConcatenate:
+    def test_joins_on_shared_vertex(self):
+        assert concatenate((0, 1, 2), (2, 3)) == (0, 1, 2, 3)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            concatenate((0, 1), (2, 3))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            concatenate((), (1,))
+
+
+def test_inf_constant():
+    assert INF == float("inf")

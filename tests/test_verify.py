@@ -1,0 +1,124 @@
+"""Tests for the independent result verifier."""
+
+import pytest
+
+from repro.core.peek import peek_ksp
+from repro.ksp.base import KSPResult
+from repro.ksp.yen import yen_ksp
+from repro.paths import Path
+from repro.verify import (
+    VerificationReport,
+    enumerate_simple_paths,
+    verify_ksp_result,
+)
+
+
+class TestEnumerate:
+    def test_fan_graph_paths(self, fan_graph):
+        paths = list(enumerate_simple_paths(fan_graph, 0, 4))
+        assert len(paths) == 4
+        dists = sorted(d for _, d in paths)
+        assert dists == pytest.approx([2.0, 4.0, 6.0, 20.0])
+
+    def test_limit_enforced(self, small_grid):
+        with pytest.raises(RuntimeError):
+            list(
+                enumerate_simple_paths(
+                    small_grid, 0, 63, limit=5, max_steps=50_000
+                )
+            )
+
+    def test_step_guard_fires_on_dense_graph(self, small_grid):
+        # even a huge path limit cannot make the DFS run unbounded
+        with pytest.raises(RuntimeError, match="DFS steps"):
+            list(
+                enumerate_simple_paths(
+                    small_grid, 0, 63, limit=10**9, max_steps=10_000
+                )
+            )
+
+    def test_no_paths(self, fan_graph):
+        assert list(enumerate_simple_paths(fan_graph, 4, 0)) == []
+
+
+class TestLocalChecks:
+    def test_valid_result_passes(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 4)
+        assert verify_ksp_result(fan_graph, 0, 4, res)
+
+    def test_peek_on_every_flavour(self, medium_er):
+        from tests.conftest import random_reachable_pair
+
+        s, t = random_reachable_pair(medium_er, seed=77)
+        res = peek_ksp(medium_er, s, t, 6)
+        report = verify_ksp_result(medium_er, s, t, res)
+        assert report, str(report)
+
+    def test_detects_wrong_endpoint(self, fan_graph):
+        bad = KSPResult(paths=[Path(1.0, (1, 4))], k_requested=1)
+        report = verify_ksp_result(fan_graph, 0, 4, bad)
+        assert not report
+        assert any("starts at" in f for f in report.failures)
+
+    def test_detects_nonsimple(self, fan_graph):
+        bad = KSPResult(paths=[Path(4.0, (0, 1, 0, 1, 4))], k_requested=1)
+        assert not verify_ksp_result(fan_graph, 0, 4, bad)
+
+    def test_detects_missing_edge(self, fan_graph):
+        bad = KSPResult(paths=[Path(2.0, (0, 4))], k_requested=1)
+        report = verify_ksp_result(fan_graph, 0, 4, bad)
+        assert any("missing edge" in f for f in report.failures)
+
+    def test_detects_wrong_distance(self, fan_graph):
+        bad = KSPResult(paths=[Path(99.0, (0, 1, 4))], k_requested=1)
+        report = verify_ksp_result(fan_graph, 0, 4, bad)
+        assert any("edges sum" in f for f in report.failures)
+
+    def test_detects_bad_order(self, fan_graph):
+        bad = KSPResult(
+            paths=[Path(4.0, (0, 2, 4)), Path(2.0, (0, 1, 4))],
+            k_requested=2,
+        )
+        report = verify_ksp_result(fan_graph, 0, 4, bad)
+        assert any("order" in f for f in report.failures)
+
+    def test_detects_duplicates(self, fan_graph):
+        p = Path(2.0, (0, 1, 4))
+        report = verify_ksp_result(
+            fan_graph, 0, 4, KSPResult(paths=[p, p], k_requested=2)
+        )
+        assert any("duplicates" in f for f in report.failures)
+
+
+class TestCompleteness:
+    def test_complete_result_passes(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 3)
+        assert verify_ksp_result(
+            fan_graph, 0, 4, res, check_completeness=True
+        )
+
+    def test_missed_path_detected(self, fan_graph):
+        # pretend the 2nd shortest doesn't exist
+        res = yen_ksp(fan_graph, 0, 4, 3)
+        tampered = KSPResult(
+            paths=[res.paths[0], res.paths[2]], k_requested=2
+        )
+        report = verify_ksp_result(
+            fan_graph, 0, 4, tampered, check_completeness=True
+        )
+        assert not report
+
+    def test_short_result_detected(self, fan_graph):
+        res = yen_ksp(fan_graph, 0, 4, 1)
+        res.k_requested = 3  # claims K=3, returned 1, but 4 paths exist
+        report = verify_ksp_result(
+            fan_graph, 0, 4, res, check_completeness=True
+        )
+        assert not report
+
+
+def test_report_str_and_bool():
+    r = VerificationReport()
+    assert bool(r) and str(r) == "OK"
+    r.fail("nope")
+    assert not bool(r)
