@@ -1,0 +1,29 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree sources on PYTHONPATH — no install step needed.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast test-slow bench bench-hot example-tuning
+
+## Tier-1 suite: the full gate every change must keep green.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Fast loop: skips tests marked `slow` (medium-scale smoke tests).
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+## Opt-in medium-scale smoke tests only.
+test-slow:
+	REPRO_RUN_SLOW=1 $(PYTHON) -m pytest -q -m slow
+
+## KSP hot-path benchmark: workspace on/off for Yen/OptYen/PeeK.
+## Writes BENCH_hot_path.json and results/hot_path.txt.
+bench: bench-hot
+bench-hot:
+	$(PYTHON) benchmarks/bench_hot_path.py
+
+## The performance-tuning walkthrough (includes the workspace act).
+example-tuning:
+	$(PYTHON) examples/performance_tuning.py

@@ -1,17 +1,21 @@
 #!/usr/bin/env python
 """Performance tuning: profile a query, then turn the knobs.
 
-The HPC workflow in three acts: measure where the time goes
-(`stage_breakdown`), identify the lever (here: K and the compaction
-strategy), and verify the change moved the needle without changing the
-answer.  Prints a per-stage table for several K values and a compaction-
-strategy comparison on the remnant the pruning produces.
+The HPC workflow in four acts: measure where the time goes
+(`stage_breakdown`), identify the lever (here: K, the compaction strategy,
+and the solver's SSSP workspace), and verify each change moved the needle
+without changing the answer.  Prints a per-stage table for several K
+values, a compaction-strategy comparison on the remnant the pruning
+produces, and a workspace on/off timing of the raw Yen spur-search loop.
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.bench.profiling import stage_breakdown
 from repro.graph.suite import random_st_pairs, suite_graph
+from repro.ksp.yen import YenKSP
 
 
 def main() -> None:
@@ -60,6 +64,30 @@ def main() -> None:
     print(
         f"\nBest end-to-end here: {best}. The adaptive α rule exists to "
         "make that choice automatically from the remnant size."
+    )
+
+    print("\n== solver-level SSSP workspace reuse (Yen, K=16) ==")
+    timings = {}
+    results = {}
+    for use_workspace in (False, True):
+        t0 = time.perf_counter()
+        results[use_workspace] = YenKSP(
+            graph, source, target, use_workspace=use_workspace
+        ).run(16)
+        timings[use_workspace] = time.perf_counter() - t0
+    assert [p.distance for p in results[True].paths] == [
+        p.distance for p in results[False].paths
+    ], "the workspace must not change the answer"
+    print(
+        f"{'fresh allocation':>18}: {timings[False]:.4f} s\n"
+        f"{'shared workspace':>18}: {timings[True]:.4f} s  "
+        f"({timings[False] / timings[True]:.2f}x)"
+    )
+    print(
+        "\nEvery spur search reuses one epoch-stamped dist/parent array set "
+        "with an incrementally-maintained ban mask (O(1) setup instead of "
+        "O(n)) — identical paths, identical relaxation counts. This is the "
+        "default; use_workspace=False restores fresh allocation."
     )
 
 

@@ -72,6 +72,13 @@ class PeeK(KSPAlgorithm):
         :func:`~repro.core.pruning.k_upper_bound_prune`).
     compaction_force:
         Pin one compaction strategy regardless of the α rule (benchmarks).
+    use_workspace:
+        Let the inner KSP stage reuse one epoch-stamped SSSP workspace
+        across all of its spur searches (default; see
+        :mod:`repro.sssp.workspace`).  ``False`` restores fresh-allocation
+        searches — the benchmark baseline.  Either way the paths are
+        identical; the workspace binds to whatever graph the compaction
+        stage produced, so the two optimisations compose.
 
     Notes
     -----
@@ -95,6 +102,7 @@ class PeeK(KSPAlgorithm):
         strong_edge_prune: bool = False,
         compaction_force: str | None = None,
         deadline: float | None = None,
+        use_workspace: bool = True,
     ) -> None:
         super().__init__(graph, source, target, deadline=deadline)
         self.alpha = alpha
@@ -103,6 +111,7 @@ class PeeK(KSPAlgorithm):
         self.kernel = kernel
         self.strong_edge_prune = strong_edge_prune
         self.compaction_force = compaction_force
+        self.use_workspace = use_workspace
         self._prepared_k: int | None = None
         self._inner: OptYenKSP | None = None
         self._regen: RegeneratedGraph | None = None
@@ -122,7 +131,11 @@ class PeeK(KSPAlgorithm):
         if not self.enable_prune:
             # Base configuration: plain OptYen on the original graph.
             self._inner = OptYenKSP(
-                self.graph, self.source, self.target, deadline=self.deadline
+                self.graph,
+                self.source,
+                self.target,
+                deadline=self.deadline,
+                use_workspace=self.use_workspace,
             )
             return
 
@@ -167,7 +180,13 @@ class PeeK(KSPAlgorithm):
         else:
             src, tgt = self.source, self.target
             inner_graph = comp.compacted
-        self._inner = OptYenKSP(inner_graph, src, tgt, deadline=self.deadline)
+        self._inner = OptYenKSP(
+            inner_graph,
+            src,
+            tgt,
+            deadline=self.deadline,
+            use_workspace=self.use_workspace,
+        )
 
     def iter_paths(self):
         """Yield paths from the prepared pipeline (original vertex ids).

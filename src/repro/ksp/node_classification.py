@@ -168,24 +168,45 @@ class NodeClassificationKSP(DeviationKSP):
 
         graph = self.graph
         n = graph.num_vertices
-        dist = np.full(n, INF, dtype=np.float64)
-        parent = np.full(n, -1, dtype=np.int64)
-        settled = np.zeros(n, dtype=bool)
+        ws = self._get_workspace()
+        if ws is not None:
+            # Epoch-stamped reuse: O(1) setup, incremental ban mask, and the
+            # scalar loop runs over the workspace's Python-list CSR mirror.
+            ep = ws.next_epoch()
+            dist, parent, dstamp, sstamp = ws.scalar_state()
+            begins, ends, indices, weights, edge_mask = ws.adjacency_lists()
+            ws.apply_bans(banned_vertices)
+            ban = ws.ban_bytes
+        else:
+            # Fresh-allocation baseline: same loop over NumPy storage with a
+            # trivially-fresh epoch, so the two modes cannot drift apart.
+            ep = 1
+            dist = np.full(n, INF, dtype=np.float64)
+            parent = np.full(n, -1, dtype=np.int64)
+            dstamp = np.zeros(n, dtype=np.int64)
+            sstamp = np.zeros(n, dtype=np.int64)
+            begins, ends, indices, weights, edge_mask = graph.adjacency_arrays()
+            ban = np.zeros(n, dtype=bool)
+            if banned_vertices:
+                ban[np.fromiter(banned_vertices, np.int64, len(banned_vertices))] = True
+        dev_vertex = int(dev_vertex)
         dist[dev_vertex] = 0.0
         parent[dev_vertex] = dev_vertex
+        dstamp[dev_vertex] = ep
         heap = [(0.0, dev_vertex)]
-        begins, ends, indices, weights, edge_mask = graph.adjacency_arrays()
         dist_tgt = self.dist_tgt
         best_u, best_total = -1, INF
         work = 0
+        settled_count = 0
         check_edges = bool(banned_edges)
         while heap:
             d, u = heapq.heappop(heap)
-            if settled[u]:
+            if sstamp[u] == ep:
                 continue
             if d >= best_total:
                 break  # no remaining label can improve the closed candidate
-            settled[u] = True
+            sstamp[u] = ep
+            settled_count += 1
             work += 1
             if green[u] and u != dev_vertex:
                 total = d + float(dist_tgt[u])
@@ -197,18 +218,19 @@ class NodeClassificationKSP(DeviationKSP):
                 if edge_mask is not None and not edge_mask[e]:
                     continue
                 v = indices[e]
-                if settled[v] or v in banned_vertices:
+                if sstamp[v] == ep or ban[v]:
                     continue
                 if check_edges and u == dev_vertex and (u, v) in banned_edges:
                     continue
                 work += 1
                 nd = d + weights[e]
-                if nd < dist[v]:
+                if dstamp[v] != ep or nd < dist[v]:
                     dist[v] = nd
                     parent[v] = u
+                    dstamp[v] = ep
                     heapq.heappush(heap, (nd, v))
         self.stats.sssp_calls += 1
-        self.stats.vertices_settled += int(settled.sum())
+        self.stats.vertices_settled += settled_count
         self.stats.edges_relaxed += work
         self._log_task(work)
         if best_u < 0:

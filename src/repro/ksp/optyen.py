@@ -58,13 +58,38 @@ class OptYenKSP(DeviationKSP):
         )
 
     # ------------------------------------------------------------------
+    #: below this out-degree the scalar scan beats NumPy's fixed call cost
+    _VECTOR_MIN_DEGREE = 24
+
     def _best_first_hop(
         self, dev_vertex, banned_vertices, banned_edges
     ) -> tuple[int, float] | None:
-        """``(w*, bound)`` minimising ``w(v,w) + distTgt[w]`` over allowed w."""
+        """``(w*, bound)`` minimising ``w(v,w) + distTgt[w]`` over allowed w.
+
+        High-degree vertices use one masked vectorised argmin over the
+        adjacency slice; low-degree ones keep the scalar scan (NumPy's
+        per-call overhead dominates below ~two dozen neighbours).  Ties on
+        the bound break toward the smallest vertex id in both paths.
+        """
         targets, weights = self.graph.neighbors(dev_vertex)
-        best_w, best_val = -1, INF
         dist_tgt = self.dist_tgt
+        if targets.size >= self._VECTOR_MIN_DEGREE:
+            vals = weights + dist_tgt[targets]
+            if banned_vertices:
+                ban = np.fromiter(
+                    banned_vertices, dtype=np.int64, count=len(banned_vertices)
+                )
+                vals[np.isin(targets, ban)] = INF
+            if banned_edges:
+                for u, w in banned_edges:
+                    if u == dev_vertex:
+                        vals[targets == w] = INF
+            best_val = vals.min()
+            if not np.isfinite(best_val):
+                return None
+            best_w = int(targets[vals == best_val].min())
+            return best_w, float(best_val)
+        best_w, best_val = -1, INF
         for w, wt in zip(targets.tolist(), weights.tolist()):
             if w in banned_vertices:
                 continue

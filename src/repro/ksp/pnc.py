@@ -12,6 +12,12 @@ Correctness: the express value ``w(v,w*) + distTgt[w*]`` never exceeds the
 true shortest allowed suffix (distTgt is the unconstrained distance), so a
 postponed entry sorts at or before the position its repaired version will
 occupy — the pool minimum is therefore never wrongly accepted.
+
+Repair SSSPs run through the solver-shared epoch-stamped workspace
+(:mod:`repro.sssp.workspace`).  Unlike the in-order deviation searches,
+repairs jump to an *older* banned-vertex set, which the workspace's
+incremental mask handles by flipping the symmetric difference — still far
+cheaper than the O(n) mask rebuild of the fresh-allocation path.
 """
 
 from __future__ import annotations

@@ -15,6 +15,11 @@ consecutive deviations hit the cache.
 The cost is memory: one ``O(n)`` tree per distinct removal set — the
 "obvious memory issue" the paper describes (§1.1).  ``stats.peak_tree_bytes``
 tracks it; the SB-vs-SB* benchmark shows the time/space trade-off.
+
+The cached trees must live simultaneously, so they own their arrays and do
+*not* share the solver's SSSP workspace; only the rare forward-Dijkstra
+repair (a tree path looping through the deviation vertex) runs on the
+shared epoch-stamped state via :meth:`DeviationKSP._dijkstra_suffix`.
 """
 
 from __future__ import annotations

@@ -1,8 +1,14 @@
 """Yen's algorithm (Yen 1971) — Algorithm 1 of the paper.
 
-Every deviation runs a fresh target-stopped Dijkstra on the graph with the
+Every deviation runs a target-stopped Dijkstra on the graph with the
 prefix vertices and the used deviation edges removed.  O(Kn(m + n log n));
 this is the baseline everything else beats.
+
+Being nothing *but* spur searches, Yen benefits the most from the shared
+epoch-stamped SSSP workspace (:mod:`repro.sssp.workspace`): all of its
+Dijkstras reuse one set of traversal arrays with O(1) per-search setup and
+an incrementally-maintained banned-vertex mask.  Pass
+``use_workspace=False`` for the historical fresh-allocation behaviour.
 """
 
 from __future__ import annotations

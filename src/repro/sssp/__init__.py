@@ -11,9 +11,16 @@ Four kernels with one result contract (:class:`SSSPResult`):
 * :mod:`repro.sssp.bellman_ford` — reference implementation for tests.
 * :mod:`repro.sssp.lazy_dijkstra` — pausable/resumable Dijkstra used by the
   SB* algorithm's SSSP-reuse optimisation.
+
+Plus the reuse layer the KSP hot path is built on:
+
+* :mod:`repro.sssp.workspace` — epoch-stamped :class:`SSSPWorkspace` state
+  that ``dijkstra(..., workspace=...)`` and :class:`LazyDijkstra` reuse
+  across back-to-back queries, making per-query setup O(1) instead of O(n).
 """
 
 from repro.sssp.result import SSSPResult, SSSPStats
+from repro.sssp.workspace import SSSPWorkspace, WorkspaceResult
 from repro.sssp.dijkstra import dijkstra
 from repro.sssp.delta_stepping import delta_stepping
 from repro.sssp.bellman_ford import bellman_ford
@@ -22,6 +29,8 @@ from repro.sssp.lazy_dijkstra import LazyDijkstra
 __all__ = [
     "SSSPResult",
     "SSSPStats",
+    "SSSPWorkspace",
+    "WorkspaceResult",
     "dijkstra",
     "delta_stepping",
     "bellman_ford",

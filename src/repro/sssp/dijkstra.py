@@ -5,6 +5,18 @@ called thousands of times on small remaining graphs, where the fixed cost of
 vectorised machinery would dominate.  The numpy arrays of the CSR are read
 directly (local-variable aliases hoisted out of the loop, per the
 optimisation guide), and lazy deletion keeps the heap simple.
+
+Two execution modes share the same relaxation logic and produce
+bitwise-identical labels:
+
+* **fresh allocation** (``workspace=None``, the default): every call
+  allocates its own ``dist``/``parent``/``settled`` arrays — simple,
+  re-entrant, and exactly the historical behaviour;
+* **workspace reuse** (``workspace=SSSPWorkspace(graph)``): per-query setup
+  is O(1) via epoch stamps, the banned-vertex mask is maintained
+  incrementally, and the scalar loop runs over the workspace's Python-list
+  mirror of the CSR (~2x faster than per-element NumPy indexing).  This is
+  the KSP spur-search hot path.
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
 from repro.paths import INF
 from repro.sssp.result import SSSPResult, SSSPStats
+from repro.sssp.workspace import SSSPWorkspace, WorkspaceResult
 
 __all__ = ["dijkstra"]
 
@@ -30,7 +43,8 @@ def dijkstra(
     banned_vertices: Collection[int] | np.ndarray | None = None,
     banned_edges: Collection[tuple[int, int]] | None = None,
     cutoff: float | None = None,
-) -> SSSPResult:
+    workspace: SSSPWorkspace | None = None,
+) -> SSSPResult | WorkspaceResult:
     """Single-source shortest paths from ``source``.
 
     Parameters
@@ -52,10 +66,18 @@ def dijkstra(
         Abandon label values strictly greater than this (used by the
         K-upper-bound-aware repair searches: any suffix longer than the
         bound can never enter the K results).
+    workspace:
+        A :class:`~repro.sssp.workspace.SSSPWorkspace` bound to ``graph``.
+        When given, the query reuses the workspace's epoch-stamped state
+        (O(1) setup, incremental ban mask) and returns a
+        :class:`~repro.sssp.workspace.WorkspaceResult` — same values, valid
+        until the workspace's next query unless materialised.  Id-iterable
+        ``banned_vertices`` are folded into the workspace's incremental
+        mask; a ``bool[n]`` mask is honoured directly in either mode.
 
     Returns
     -------
-    SSSPResult
+    SSSPResult | WorkspaceResult
         ``dist``/``parent`` arrays plus work counters.
     """
     n = graph.num_vertices
@@ -63,6 +85,16 @@ def dijkstra(
         raise VertexError(f"source {source} out of range [0, {n})")
     if target is not None and not 0 <= target < n:
         raise VertexError(f"target {target} out of range [0, {n})")
+
+    if workspace is not None:
+        if workspace.graph is not graph:
+            raise ValueError(
+                "workspace is bound to a different graph; create one "
+                "SSSPWorkspace per graph"
+            )
+        return _dijkstra_workspace(
+            workspace, source, target, banned_vertices, banned_edges, cutoff
+        )
 
     banned_mask: np.ndarray | None
     if banned_vertices is None:
@@ -125,3 +157,90 @@ def dijkstra(
     # non-scalable inner loop.
     stats.phases = stats.vertices_settled
     return SSSPResult(source=source, dist=dist, parent=parent, stats=stats)
+
+
+def _dijkstra_workspace(
+    ws: SSSPWorkspace,
+    source: int,
+    target: int | None,
+    banned_vertices,
+    banned_edges,
+    cutoff: float | None,
+) -> WorkspaceResult:
+    """The epoch-stamped kernel: same labels, O(1) per-query setup."""
+    # Resolve the banned-vertex input.  A caller-supplied bool mask is
+    # honoured as-is (it is already O(1) to consume); id iterables fold into
+    # the workspace's incremental mask so repeat callers pay only the delta
+    # between consecutive ban sets instead of an O(n) rebuild.
+    ban: np.ndarray | bytearray | None
+    if banned_vertices is None:
+        ws.apply_bans(())
+        ban = None
+    elif (
+        isinstance(banned_vertices, np.ndarray) and banned_vertices.dtype == bool
+    ):
+        ban = banned_vertices
+        if ban[source]:
+            raise VertexError(f"source {source} is banned")
+    else:
+        ws.apply_bans(banned_vertices)
+        ban = ws.ban_bytes
+        if ban[source]:
+            raise VertexError(f"source {source} is banned")
+
+    stats = SSSPStats()
+    ep = ws.next_epoch()
+    dist, parent, dstamp, sstamp = ws.scalar_state()
+    begins, ends, indices, weights, edge_mask = ws.adjacency_lists()
+
+    source = int(source)
+    tgt = -1 if target is None else int(target)
+    check_edges = bool(banned_edges)
+    check_ban = ban is not None
+
+    dist[source] = 0.0
+    parent[source] = source
+    dstamp[source] = ep
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    settled_ct = 0
+    relaxed = 0
+    pushes = 0
+
+    while heap:
+        d, u = pop(heap)
+        if sstamp[u] == ep:
+            continue  # stale heap entry (lazy deletion)
+        sstamp[u] = ep
+        settled_ct += 1
+        if u == tgt:
+            break
+        lo, hi = begins[u], ends[u]
+        for e in range(lo, hi):
+            if edge_mask is not None and not edge_mask[e]:
+                continue
+            v = indices[e]
+            if sstamp[v] == ep:
+                continue
+            if check_ban and ban[v]:
+                continue
+            if check_edges and (u, v) in banned_edges:
+                continue
+            relaxed += 1
+            nd = d + weights[e]
+            if cutoff is not None and nd > cutoff:
+                continue
+            if dstamp[v] != ep or nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                dstamp[v] = ep
+                push(heap, (nd, v))
+                pushes += 1
+
+    stats.vertices_settled = settled_ct
+    stats.edges_relaxed = relaxed
+    stats.heap_pushes = pushes
+    stats.phases = settled_ct
+    return WorkspaceResult(ws, source, ep, stats)

@@ -57,3 +57,19 @@ class SSSPResult:
     def num_reached(self) -> int:
         """Number of vertices with a finite distance."""
         return int(np.isfinite(self.dist).sum())
+
+    # Cheap accessors shared with WorkspaceResult, so KSP code can consume
+    # either result type without touching the O(n) arrays.
+    def dist_of(self, v: int) -> float:
+        """Scalar distance read (``inf`` when unreached)."""
+        return float(self.dist[v])
+
+    def parent_of(self, v: int) -> int:
+        """Scalar parent read (``-1`` when unreached)."""
+        return int(self.parent[v])
+
+    def reconstruct(self, vertex: int) -> list[int] | None:
+        """``[source, ..., vertex]`` from the parent array, or ``None``."""
+        from repro.paths import reconstruct_path
+
+        return reconstruct_path(self.parent, self.source, vertex)

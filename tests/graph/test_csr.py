@@ -148,6 +148,49 @@ class TestEquality:
         assert not a.structurally_equal(b)
 
 
+class TestSortedCopy:
+    """The single-lexsort sorted_copy must equal a per-vertex reference sort."""
+
+    @staticmethod
+    def _reference_sorted(g):
+        indices = g.indices.copy()
+        weights = g.weights.copy()
+        for v in range(g.num_vertices):
+            lo, hi = int(g.indptr[v]), int(g.indptr[v + 1])
+            order = sorted(range(lo, hi), key=lambda e: (indices[e], weights[e]))
+            indices[lo:hi] = [g.indices[e] for e in order]
+            weights[lo:hi] = [g.weights[e] for e in order]
+        return indices, weights
+
+    def test_matches_per_vertex_sort(self):
+        for seed in (0, 1, 2):
+            g = erdos_renyi(60, 5.0, seed=seed)
+            got = g.sorted_copy()
+            ref_idx, ref_w = self._reference_sorted(g)
+            assert np.array_equal(got.indptr, g.indptr)
+            assert np.array_equal(got.indices, ref_idx)
+            assert np.array_equal(got.weights, ref_w)
+
+    def test_parallel_edges_sorted_by_weight(self):
+        g = from_edge_list(
+            2, [(0, 1, 3.0), (0, 1, 1.0), (0, 1, 2.0)], dedup=False
+        )
+        s = g.sorted_copy()
+        assert list(s.weights) == [1.0, 2.0, 3.0]
+
+    def test_empty_graph(self):
+        g = from_edge_list(3, [])
+        s = g.sorted_copy()
+        assert s.num_edges == 0 and s.num_vertices == 3
+        assert s.indptr is not g.indptr  # a real copy
+
+    def test_does_not_mutate_original(self):
+        g = from_edge_list(2, [(0, 1, 2.0), (0, 1, 1.0)], dedup=False)
+        before = g.weights.copy()
+        g.sorted_copy()
+        assert np.array_equal(g.weights, before)
+
+
 class TestSubgraph:
     def test_induced_subgraph_keeps_internal_edges(self):
         g = simple_graph()

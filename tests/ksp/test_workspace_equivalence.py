@@ -1,0 +1,103 @@
+"""Every KSP algorithm must return identical results with the workspace on.
+
+The epoch-stamped SSSP workspace is a pure constant-factor optimisation:
+``use_workspace=True`` (the default) and ``use_workspace=False`` (the
+historical fresh-allocation spur searches) must produce the same ranked path
+sets, distances, and — because the relaxation order is unchanged — the same
+work counters, on every algorithm and every graph shape.
+"""
+
+import pytest
+
+from repro.core.peek import PeeK
+from repro.graph.generators import erdos_renyi, grid_network
+from repro.ksp.node_classification import NodeClassificationKSP
+from repro.ksp.optyen import OptYenKSP
+from repro.ksp.pnc import PostponedNCKSP
+from repro.ksp.psb import PSBKSP
+from repro.ksp.sidetrack import SidetrackKSP
+from repro.ksp.sidetrack_star import SidetrackStarKSP
+from repro.ksp.yen import YenKSP
+
+ALGOS = [
+    YenKSP,
+    OptYenKSP,
+    NodeClassificationKSP,
+    SidetrackKSP,
+    SidetrackStarKSP,
+    PostponedNCKSP,
+    PSBKSP,
+]
+
+
+def _paths_of(result):
+    return [(p.distance, p.vertices) for p in result.paths]
+
+
+def _run_both(cls, graph, source, target, k):
+    base = cls(graph, source, target, use_workspace=False).run(k)
+    ws = cls(graph, source, target, use_workspace=True).run(k)
+    return base, ws
+
+
+@pytest.mark.parametrize("cls", ALGOS, ids=[c.name for c in ALGOS])
+class TestAlgorithmEquivalence:
+    def test_fan_graph(self, cls, fan_graph):
+        base, ws = _run_both(cls, fan_graph, 0, 5, 4)
+        assert _paths_of(ws) == _paths_of(base)
+
+    def test_loop_trap(self, cls, loop_trap_graph):
+        base, ws = _run_both(cls, loop_trap_graph, 0, 4, 3)
+        assert _paths_of(ws) == _paths_of(base)
+
+    def test_random_graphs(self, cls):
+        for seed in (1, 2, 3):
+            g = erdos_renyi(70, 4.0, seed=seed)
+            base, ws = _run_both(cls, g, 0, g.num_vertices - 1, 6)
+            assert _paths_of(ws) == _paths_of(base), f"seed={seed}"
+
+    def test_grid(self, cls):
+        g = grid_network(7, 7, seed=4)
+        base, ws = _run_both(cls, g, 0, g.num_vertices - 1, 8)
+        assert _paths_of(ws) == _paths_of(base)
+
+    def test_work_counters_identical(self, cls):
+        """The workspace changes allocation, not the search: same counters."""
+        g = erdos_renyi(50, 4.0, seed=6)
+        base, ws = _run_both(cls, g, 0, g.num_vertices - 1, 5)
+        assert ws.stats.edges_relaxed == base.stats.edges_relaxed
+        assert ws.stats.sssp_calls == base.stats.sssp_calls
+
+
+class TestPeeKEquivalence:
+    def test_peek_matches_without_workspace(self):
+        for seed in (1, 5):
+            g = erdos_renyi(80, 5.0, seed=seed)
+            base = PeeK(g, 0, g.num_vertices - 1, use_workspace=False).run(5)
+            ws = PeeK(g, 0, g.num_vertices - 1, use_workspace=True).run(5)
+            assert _paths_of(ws) == _paths_of(base)
+
+    def test_peek_matches_plain_yen(self):
+        g = grid_network(6, 6, seed=2)
+        t = g.num_vertices - 1
+        yen = YenKSP(g, 0, t).run(6)
+        peek = PeeK(g, 0, t).run(6)
+        assert [p.distance for p in peek.paths] == pytest.approx(
+            [p.distance for p in yen.paths]
+        )
+
+
+class TestSolverWorkspaceLifecycle:
+    def test_workspace_created_lazily_and_reused(self):
+        g = erdos_renyi(40, 4.0, seed=8)
+        solver = YenKSP(g, 0, g.num_vertices - 1)
+        assert solver._workspace is None
+        solver.run(4)
+        ws = solver._workspace
+        assert ws is not None and ws.epoch > 1  # many spur searches, one workspace
+
+    def test_use_workspace_false_never_allocates(self):
+        g = erdos_renyi(40, 4.0, seed=8)
+        solver = YenKSP(g, 0, g.num_vertices - 1, use_workspace=False)
+        solver.run(4)
+        assert solver._workspace is None

@@ -1,0 +1,243 @@
+"""Workspace-reuse Dijkstra must be indistinguishable from fresh allocation.
+
+The epoch-stamped workspace (:mod:`repro.sssp.workspace`) promises bitwise-
+identical labels and counters across arbitrarily many back-to-back queries on
+one shared workspace — including banned vertices in every accepted input
+form, banned edges, cutoffs, and early target exits.  These tests are the
+contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import VertexError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import erdos_renyi, grid_network
+from repro.paths import INF
+from repro.sssp.dijkstra import dijkstra
+from repro.sssp.lazy_dijkstra import LazyDijkstra
+from repro.sssp.workspace import SSSPWorkspace
+
+
+def _assert_same(fresh, ws_res, n):
+    """Fresh SSSPResult and WorkspaceResult agree on every observable."""
+    for v in range(n):
+        assert ws_res.dist_of(v) == fresh.dist[v]
+        assert ws_res.parent_of(v) == fresh.parent[v]
+        assert ws_res.reached(v) == fresh.reached(v)
+    assert ws_res.num_reached() == fresh.num_reached()
+    assert ws_res.stats.vertices_settled == fresh.stats.vertices_settled
+    assert ws_res.stats.edges_relaxed == fresh.stats.edges_relaxed
+    assert ws_res.stats.heap_pushes == fresh.stats.heap_pushes
+
+
+class TestBackToBackReuse:
+    """The headline property: many mixed queries on ONE workspace == fresh."""
+
+    def test_many_queries_match_fresh(self):
+        g = erdos_renyi(150, 5.0, seed=3)
+        n = g.num_vertices
+        ws = SSSPWorkspace(g)
+        rng = np.random.default_rng(11)
+        for q in range(60):
+            source = int(rng.integers(n))
+            kwargs = {}
+            kind = q % 5
+            if kind == 1:  # banned vertex ids (list form)
+                kwargs["banned_vertices"] = [
+                    int(v) for v in rng.integers(n, size=6) if int(v) != source
+                ]
+            elif kind == 2:  # bool-mask form + banned edges
+                mask = np.zeros(n, dtype=bool)
+                mask[rng.integers(n, size=8)] = True
+                mask[source] = False
+                kwargs["banned_vertices"] = mask
+                kwargs["banned_edges"] = {
+                    (source, int(v)) for v in rng.integers(n, size=3)
+                }
+            elif kind == 3:  # early target exit
+                kwargs["target"] = int(rng.integers(n))
+            elif kind == 4:  # cutoff + frozenset bans
+                kwargs["cutoff"] = float(rng.uniform(0.5, 3.0))
+                kwargs["banned_vertices"] = frozenset(
+                    int(v) for v in rng.integers(n, size=4) if int(v) != source
+                )
+            fresh = dijkstra(g, source, **kwargs)
+            got = dijkstra(g, source, workspace=ws, **kwargs)
+            _assert_same(fresh, got, n)
+
+    def test_shrinking_and_jumping_ban_sets(self):
+        """apply_bans handles arbitrary jumps, not just monotone growth."""
+        g = grid_network(8, 8, seed=1)
+        ws = SSSPWorkspace(g)
+        ban_seq = [[1, 2, 3], [1, 2, 3, 4], [9, 10], [], [9, 10, 1], [1]]
+        for bans in ban_seq:
+            fresh = dijkstra(g, 0, banned_vertices=bans)
+            got = dijkstra(g, 0, workspace=ws, banned_vertices=bans)
+            _assert_same(fresh, got, g.num_vertices)
+
+    def test_reconstruct_matches_fresh(self):
+        g = erdos_renyi(80, 4.0, seed=7)
+        ws = SSSPWorkspace(g)
+        fresh = dijkstra(g, 0)
+        got = dijkstra(g, 0, workspace=ws)
+        for v in range(g.num_vertices):
+            assert got.reconstruct(v) == fresh.reconstruct(v)
+
+    def test_materialized_arrays_equal_fresh(self):
+        g = erdos_renyi(60, 4.0, seed=9)
+        ws = SSSPWorkspace(g)
+        fresh = dijkstra(g, 5, banned_vertices=[1, 2])
+        got = dijkstra(g, 5, workspace=ws, banned_vertices=[1, 2])
+        assert np.array_equal(got.dist, fresh.dist)
+        assert np.array_equal(got.parent, fresh.parent)
+
+
+class TestBanInputForms:
+    """Satellite: list-like ids and bool masks take different (correct) paths."""
+
+    @pytest.fixture()
+    def graph(self):
+        return from_edge_list(
+            5,
+            [(0, 1, 1.0), (0, 2, 4.0), (1, 2, 1.0), (2, 3, 1.0), (1, 3, 5.0), (3, 4, 1.0)],
+        )
+
+    @pytest.mark.parametrize(
+        "form", ["list", "tuple", "set", "frozenset", "ndarray_ids", "bool_mask"]
+    )
+    def test_all_forms_agree(self, graph, form):
+        ids = [2]
+        if form == "list":
+            bans = ids
+        elif form == "tuple":
+            bans = tuple(ids)
+        elif form == "set":
+            bans = set(ids)
+        elif form == "frozenset":
+            bans = frozenset(ids)
+        elif form == "ndarray_ids":
+            bans = np.asarray(ids, dtype=np.int64)
+        else:
+            bans = np.zeros(graph.num_vertices, dtype=bool)
+            bans[ids] = True
+        ws = SSSPWorkspace(graph)
+        fresh = dijkstra(graph, 0, banned_vertices=bans)
+        got = dijkstra(graph, 0, workspace=ws, banned_vertices=bans)
+        _assert_same(fresh, got, graph.num_vertices)
+        assert got.dist_of(3) == pytest.approx(6.0)  # forced around vertex 2
+
+    def test_incremental_mask_state(self, graph):
+        ws = SSSPWorkspace(graph)
+        dijkstra(graph, 0, workspace=ws, banned_vertices=[1, 3])
+        assert ws.is_banned(1) and ws.is_banned(3) and not ws.is_banned(2)
+        dijkstra(graph, 0, workspace=ws, banned_vertices=[3, 4])
+        assert not ws.is_banned(1) and ws.is_banned(4)
+        dijkstra(graph, 0, workspace=ws)  # no bans clears the mask
+        assert not any(ws.ban)
+
+    def test_bool_mask_does_not_pollute_incremental_state(self, graph):
+        """A caller mask is honoured directly, leaving the delta mask alone."""
+        ws = SSSPWorkspace(graph)
+        dijkstra(graph, 0, workspace=ws, banned_vertices=[2])
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        mask[1] = True
+        got = dijkstra(graph, 0, workspace=ws, banned_vertices=mask)
+        assert got.dist_of(2) == pytest.approx(4.0)  # via direct 0->2 edge
+        # and the incremental set is still exactly {2}
+        fresh = dijkstra(graph, 0, banned_vertices=[2])
+        got2 = dijkstra(graph, 0, workspace=ws, banned_vertices=[2])
+        _assert_same(fresh, got2, graph.num_vertices)
+
+
+class TestGuards:
+    def test_banned_source_raises(self, diamond_graph):
+        ws = SSSPWorkspace(diamond_graph)
+        with pytest.raises(VertexError):
+            dijkstra(diamond_graph, 0, workspace=ws, banned_vertices=[0])
+        mask = np.zeros(diamond_graph.num_vertices, dtype=bool)
+        mask[0] = True
+        with pytest.raises(VertexError):
+            dijkstra(diamond_graph, 0, workspace=ws, banned_vertices=mask)
+
+    def test_graph_mismatch_raises(self, diamond_graph, fan_graph):
+        ws = SSSPWorkspace(diamond_graph)
+        with pytest.raises(ValueError):
+            dijkstra(fan_graph, 0, workspace=ws)
+
+    def test_stale_result_raises(self, diamond_graph):
+        ws = SSSPWorkspace(diamond_graph)
+        first = dijkstra(diamond_graph, 0, workspace=ws)
+        dijkstra(diamond_graph, 1, workspace=ws)  # new epoch
+        with pytest.raises(RuntimeError):
+            first.dist_of(3)
+        with pytest.raises(RuntimeError):
+            first.reconstruct(3)
+
+    def test_materialize_outlives_epoch(self, diamond_graph):
+        ws = SSSPWorkspace(diamond_graph)
+        first = dijkstra(diamond_graph, 0, workspace=ws)
+        before = first.dist.copy()  # .dist materialises
+        dijkstra(diamond_graph, 1, workspace=ws)
+        assert np.array_equal(first.dist, before)  # snapshot survives
+        assert first.dist_of(3) == before[3]
+
+
+class TestLazyDijkstraTenancy:
+    def test_workspace_tenant_matches_fresh(self):
+        g = erdos_renyi(100, 4.0, seed=5)
+        ws = SSSPWorkspace(g)
+        for source in (0, 17, 42):
+            fresh = LazyDijkstra(g, source).run_to_completion()
+            tenant = LazyDijkstra(g, source, workspace=ws).run_to_completion()
+            assert np.array_equal(tenant.dist, fresh.dist)
+            assert np.array_equal(tenant.parent, fresh.parent)
+
+    def test_sparse_reset_between_tenants(self):
+        g = from_edge_list(4, [(0, 1, 1.0), (1, 2, 1.0)])
+        ws = SSSPWorkspace(g)
+        first = LazyDijkstra(g, 0, workspace=ws)
+        first.run_to_completion()
+        second = LazyDijkstra(g, 3, workspace=ws)  # isolated source
+        assert second.dist[3] == 0.0
+        # first tenant's labels were wiped, not inherited
+        assert second.dist[0] == INF and second.dist[1] == INF
+
+    def test_snapshot_owns_its_arrays(self):
+        g = erdos_renyi(50, 4.0, seed=2)
+        ws = SSSPWorkspace(g)
+        tenant = LazyDijkstra(g, 0, workspace=ws)
+        tenant.distance_to(10)
+        snap = tenant.snapshot()
+        dist_before = snap.dist.copy()
+        LazyDijkstra(g, 1, workspace=ws).run_to_completion()  # evicts tenant
+        assert np.array_equal(snap.dist, dist_before)
+        snap.run_to_completion()  # snapshot still resumable
+        fresh = LazyDijkstra(g, 0).run_to_completion()
+        assert np.array_equal(snap.dist, fresh.dist)
+
+    def test_graph_mismatch_raises(self, diamond_graph, fan_graph):
+        ws = SSSPWorkspace(diamond_graph)
+        with pytest.raises(ValueError):
+            LazyDijkstra(fan_graph, 0, workspace=ws)
+
+
+class TestWorkspaceHousekeeping:
+    def test_epoch_monotone(self, diamond_graph):
+        ws = SSSPWorkspace(diamond_graph)
+        e1 = ws.next_epoch()
+        e2 = ws.next_epoch()
+        assert e2 == e1 + 1
+
+    def test_memory_bytes_grows_with_adjacency_cache(self, diamond_graph):
+        ws = SSSPWorkspace(diamond_graph)
+        before = ws.memory_bytes()
+        ws.adjacency_lists()
+        assert ws.memory_bytes() > before
+
+    def test_ban_view_is_zero_copy(self, diamond_graph):
+        ws = SSSPWorkspace(diamond_graph)
+        ws.apply_bans([2])
+        assert bool(ws.ban[2]) and not bool(ws.ban[1])
+        ws.apply_bans([])
+        assert not ws.ban.any()

@@ -11,10 +11,15 @@ import os
 import numpy as np
 import pytest
 
-slow = pytest.mark.skipif(
+_opt_in = pytest.mark.skipif(
     not os.environ.get("REPRO_RUN_SLOW"),
     reason="set REPRO_RUN_SLOW=1 to run medium-scale smoke tests",
 )
+
+
+def slow(fn):
+    """Mark ``slow`` (for ``-m "not slow"`` deselection) and env-gate."""
+    return pytest.mark.slow(_opt_in(fn))
 
 
 @slow
