@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow bench bench-hot example-tuning
+.PHONY: test test-fast test-slow lint bench bench-hot example-tuning
 
 ## Tier-1 suite: the full gate every change must keep green.
 test:
@@ -17,6 +17,10 @@ test-fast:
 ## Opt-in medium-scale smoke tests only.
 test-slow:
 	REPRO_RUN_SLOW=1 $(PYTHON) -m pytest -q -m slow
+
+## Lint (CI runs this; requires ruff, which is not a runtime dependency).
+lint:
+	ruff check src tests
 
 ## KSP hot-path benchmark: workspace on/off for Yen/OptYen/PeeK.
 ## Writes BENCH_hot_path.json and results/hot_path.txt.

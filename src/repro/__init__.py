@@ -1,18 +1,25 @@
 """PeeK: A Prune-Centric Approach for K Shortest Path Computation (SC '23).
 
 A from-scratch Python reproduction of the paper's system and of every
-substrate it depends on.  The three public entry points most users want:
+substrate it depends on.  The front door is :func:`repro.solve` — one
+call that runs any registered algorithm:
 
->>> from repro import peek_ksp
+>>> import repro
 >>> from repro.graph.generators import grid_network
 >>> g = grid_network(20, 20, seed=1)
->>> result = peek_ksp(g, 0, 399, k=4)
+>>> result = repro.solve(g, 0, 399, k=4)           # PeeK by default
 >>> len(result.paths)
 4
+>>> repro.solve(g, 0, 399, k=4, algorithm="Yen").distances == result.distances
+True
 
+* :func:`repro.solve` / :func:`repro.algorithms` — the single entry point
+  and the registry of everything it can run.
 * :func:`repro.peek_ksp` / :class:`repro.PeeK` — the paper's contribution.
 * :mod:`repro.ksp` — the five comparison algorithms (Yen, NC, OptYen, SB,
   SB*) plus the PNC and ``SHORTEST k GROUP`` extensions.
+* :mod:`repro.obs` — span-based tracing/metrics; wrap any call in
+  ``use_tracer(Tracer())`` to see where the time and work went.
 * :mod:`repro.graph` — CSR storage, generators, I/O, benchmark suite.
 * :mod:`repro.core` — K-upper-bound pruning and adaptive compaction,
   usable as a preprocessing stage for *any* KSP algorithm.
@@ -22,11 +29,13 @@ substrate it depends on.  The three public entry points most users want:
 * :mod:`repro.bench` — the harness that regenerates every table and figure.
 """
 
+from repro.api import algorithm_spec, algorithms, solve
 from repro.core.peek import PeeK, PeeKResult, peek_ksp
 from repro.core.pruning import k_upper_bound_prune
 from repro.graph.csr import CSRGraph
 from repro.ksp import (
     ALGORITHMS,
+    AlgorithmSpec,
     make_algorithm,
     nc_ksp,
     optyen_ksp,
@@ -36,11 +45,25 @@ from repro.ksp import (
     shortest_k_groups,
     yen_ksp,
 )
+from repro.obs import (
+    NOOP_TRACER,
+    NoOpTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    render_tree,
+    set_tracer,
+    use_tracer,
+    write_jsonl,
+)
 from repro.paths import Path
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "solve",
+    "algorithms",
+    "algorithm_spec",
     "PeeK",
     "PeeKResult",
     "peek_ksp",
@@ -48,6 +71,7 @@ __all__ = [
     "CSRGraph",
     "Path",
     "ALGORITHMS",
+    "AlgorithmSpec",
     "make_algorithm",
     "yen_ksp",
     "nc_ksp",
@@ -56,5 +80,14 @@ __all__ = [
     "sb_star_ksp",
     "pnc_ksp",
     "shortest_k_groups",
+    "Span",
+    "Tracer",
+    "NoOpTracer",
+    "NOOP_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "write_jsonl",
+    "render_tree",
     "__version__",
 ]

@@ -30,6 +30,7 @@ from repro.errors import ReproError
 from repro.graph.suite import SUITE_NAMES, random_st_pairs, suite_graph
 from repro.ksp import make_algorithm
 from repro.ksp.base import KSPTimeout
+from repro.obs.tracer import get_tracer
 
 __all__ = ["RunRecord", "ExperimentRunner"]
 
@@ -93,10 +94,18 @@ class ExperimentRunner:
         deadline = time.perf_counter() + self.deadline_seconds
         t0 = time.perf_counter()
         try:
-            algo = make_algorithm(
-                method, graph, source, target, deadline=deadline, **kwargs
-            )
-            result = algo.run(k)
+            with get_tracer().span(
+                "bench.run",
+                method=method,
+                graph=graph_name,
+                k=k,
+                source=source,
+                target=target,
+            ):
+                algo = make_algorithm(
+                    method, graph, source, target, deadline=deadline, **kwargs
+                )
+                result = algo.run(k)
             seconds = time.perf_counter() - t0
             # cheap independent audit outside the timed region: endpoints,
             # simplicity, edge existence, distances, ordering

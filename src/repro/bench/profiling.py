@@ -4,6 +4,12 @@ The HPC-Python workflow this repo follows is *measure first*: these
 helpers give a per-stage wall-clock breakdown of the PeeK pipeline and a
 cProfile summary of any callable, so a user tuning α, Δ, or K can see
 which stage moved.
+
+:func:`stage_breakdown` is a thin view over the span layer: it runs the
+real :class:`~repro.core.peek.PeeK` pipeline under a private
+:class:`~repro.obs.Tracer` and reads the ``prune`` / ``compact`` / ``ksp``
+stage spans back — the *same* spans every traced production run emits, so
+the profile and the trace can never disagree.
 """
 
 from __future__ import annotations
@@ -11,8 +17,9 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
-import time
 from dataclasses import dataclass, field
+
+from repro.obs.tracer import Tracer, use_tracer
 
 __all__ = ["StageBreakdown", "stage_breakdown", "profile_to_text"]
 
@@ -46,52 +53,34 @@ class StageBreakdown:
 
 
 def stage_breakdown(graph, source: int, target: int, k: int, **peek_kwargs) -> StageBreakdown:
-    """Run the PeeK pipeline stage by stage, timing each part.
+    """Run the full PeeK pipeline once, reading per-stage times off its spans.
 
     Accepts the same keyword arguments as :class:`repro.core.peek.PeeK`
-    (``alpha``, ``kernel``, ``strong_edge_prune``, ...).
+    (``alpha``, ``kernel``, ``strong_edge_prune``, ...); an unknown one
+    raises ``TypeError`` before any work is done.  Unlike the pre-span
+    implementation this times the *actual* pipeline — workspace reuse,
+    ablation flags and all — not a re-enactment of it.
     """
-    from repro.core.compaction import RegeneratedGraph, adaptive_compact
-    from repro.core.pruning import k_upper_bound_prune
-    from repro.ksp.optyen import OptYenKSP
+    from repro.core.peek import PeeK
 
-    alpha = peek_kwargs.pop("alpha", 0.1)
-    kernel = peek_kwargs.pop("kernel", "delta")
-    strong = peek_kwargs.pop("strong_edge_prune", False)
-    force = peek_kwargs.pop("compaction_force", None)
-    if peek_kwargs:
-        raise TypeError(f"unknown arguments: {sorted(peek_kwargs)}")
+    pipeline = PeeK(graph, source, target, **peek_kwargs)
+    with use_tracer(Tracer()) as tracer:
+        result = pipeline.run(k)
 
-    t0 = time.perf_counter()
-    pr = k_upper_bound_prune(
-        graph, source, target, k, kernel=kernel, strong_edge_prune=strong
-    )
-    t_prune = time.perf_counter() - t0
+    def stage_seconds(name: str) -> float:
+        return sum(s.duration for s in tracer.find(name))
 
-    t0 = time.perf_counter()
-    comp = adaptive_compact(
-        graph, pr.keep_vertices, pr.keep_edges, alpha=alpha, force=force
-    )
-    t_compact = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    if isinstance(comp.compacted, RegeneratedGraph):
-        regen = comp.compacted
-        inner = OptYenKSP(
-            regen.graph, regen.map_vertex(source), regen.map_vertex(target)
-        )
-    else:
-        inner = OptYenKSP(comp.compacted, source, target)
-    result = inner.run(k)
-    t_ksp = time.perf_counter() - t0
-
+    t_prune = stage_seconds("prune")
+    t_compact = stage_seconds("compact")
+    t_ksp = stage_seconds("ksp")
+    comp = result.compaction
     return StageBreakdown(
         prune_seconds=t_prune,
         compact_seconds=t_compact,
         ksp_seconds=t_ksp,
         total_seconds=t_prune + t_compact + t_ksp,
-        strategy=comp.strategy,
-        remaining_edges=comp.remaining_edges,
+        strategy=comp.strategy if comp else "none",
+        remaining_edges=comp.remaining_edges if comp else graph.num_edges,
         distances=[p.distance for p in result.paths],
     )
 

@@ -7,6 +7,7 @@ Examples::
     peek-bench table3 --scale tiny --pairs 1 --deadline 20
     peek-bench fig04 fig09 --out results/
     peek-bench all --scale small
+    peek-bench table3 --scale tiny --trace results/table3_trace.jsonl
 """
 
 from __future__ import annotations
@@ -65,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", default="results", help="directory for the report files"
     )
+    p.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        help="record a span trace of everything this invocation runs and "
+        "write it as JSONL (an ASCII stage tree is printed on exit)",
+    )
     return p
 
 
@@ -105,6 +112,18 @@ def _print_profile(graph_name: str, scale: str, k: int) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.trace:
+        from repro.obs import Tracer, set_tracer
+
+        set_tracer(Tracer())
+    try:
+        return _dispatch(args)
+    finally:
+        if args.trace:
+            _flush_trace(args.trace)
+
+
+def _dispatch(args) -> int:
     if args.suite:
         _print_suite(args.scale or "small")
         return 0
@@ -144,6 +163,22 @@ def main(argv: list[str] | None = None) -> int:
         path = report.save(args.out)
         print(f"[{name} finished in {elapsed:.1f}s; saved to {path}]\n")
     return 0
+
+
+def _flush_trace(out_path: str) -> None:
+    """Write the collected spans as JSONL and print the stage tree."""
+    from pathlib import Path
+
+    from repro.obs import Tracer, get_tracer, render_tree, set_tracer, write_jsonl
+
+    tracer = get_tracer()
+    set_tracer(None)
+    if not isinstance(tracer, Tracer):  # pragma: no cover - defensive
+        return
+    Path(out_path).parent.mkdir(parents=True, exist_ok=True)
+    write_jsonl(tracer, out_path)
+    print(f"[trace: {len(tracer.spans)} spans written to {out_path}]")
+    print(render_tree(tracer.spans))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from repro.core.peek import PeeKResult
 from repro.core.pruning import PruneResult, PruneStats
 from repro.errors import UnreachableTargetError, VertexError
 from repro.ksp.optyen import OptYenKSP
+from repro.obs.tracer import get_tracer
 from repro.paths import INF, Path
 from repro.sssp.delta_stepping import delta_stepping
 from repro.sssp.dijkstra import dijkstra
@@ -47,6 +48,10 @@ class BatchPeeK:
         (each is O(n) memory).
     alpha:
         Adaptive-compaction coefficient.
+    use_workspace:
+        Let each query's KSP stage reuse an epoch-stamped SSSP workspace
+        across its spur searches, exactly as :class:`~repro.core.peek.PeeK`
+        does (default).  ``False`` restores fresh-allocation searches.
     """
 
     def __init__(
@@ -56,12 +61,14 @@ class BatchPeeK:
         kernel: str = "delta",
         cache_size: int = 64,
         alpha: float = 0.1,
+        use_workspace: bool = True,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         self.graph = graph
         self.kernel = kernel
         self.alpha = alpha
+        self.use_workspace = use_workspace
         self._cache_size = cache_size
         self._fwd: OrderedDict[int, object] = OrderedDict()
         self._rev: OrderedDict[int, object] = OrderedDict()
@@ -74,8 +81,10 @@ class BatchPeeK:
         if res is not None:
             cache.move_to_end(root)
             self.hits += 1
+            get_tracer().add("batch.cache_hits")
             return res
         self.misses += 1
+        get_tracer().add("batch.cache_misses")
         if self.kernel == "delta":
             res = delta_stepping(graph, root)
         else:
@@ -105,30 +114,44 @@ class BatchPeeK:
             raise VertexError(f"query ({source}, {target}) out of range")
         if k < 1:
             raise ValueError("k must be >= 1")
-        fwd = self.forward_sssp(source)
-        rev = self.reverse_sssp(target)
-        if not np.isfinite(fwd.dist[target]):
-            raise UnreachableTargetError(
-                f"target {target} unreachable from {source}"
-            )
-        pr = self._prune_from(fwd, rev, source, target, k)
-        comp = adaptive_compact(
-            self.graph, pr.keep_vertices, pr.keep_edges, alpha=self.alpha
-        )
-        if isinstance(comp.compacted, RegeneratedGraph):
-            regen = comp.compacted
-            inner = OptYenKSP(
-                regen.graph, regen.map_vertex(source), regen.map_vertex(target)
-            )
-            result = inner.run(k)
-            paths = [
-                Path(p.distance, regen.map_path_back(p.vertices))
-                for p in result.paths
-            ]
-        else:
-            inner = OptYenKSP(comp.compacted, source, target)
-            result = inner.run(k)
-            paths = result.paths
+        tracer = get_tracer()
+        with tracer.span("batch.query", source=source, target=target, k=k):
+            with tracer.span("prune", k=k, kernel=self.kernel):
+                fwd = self.forward_sssp(source)
+                rev = self.reverse_sssp(target)
+                if not np.isfinite(fwd.dist[target]):
+                    raise UnreachableTargetError(
+                        f"target {target} unreachable from {source}"
+                    )
+                pr = self._prune_from(fwd, rev, source, target, k)
+            with tracer.span("compact") as span:
+                comp = adaptive_compact(
+                    self.graph, pr.keep_vertices, pr.keep_edges, alpha=self.alpha
+                )
+                if tracer.enabled:
+                    span.attrs["strategy"] = comp.strategy
+            if isinstance(comp.compacted, RegeneratedGraph):
+                regen = comp.compacted
+                inner = OptYenKSP(
+                    regen.graph,
+                    regen.map_vertex(source),
+                    regen.map_vertex(target),
+                    use_workspace=self.use_workspace,
+                )
+                result = inner.run(k)
+                paths = [
+                    Path(p.distance, regen.map_path_back(p.vertices))
+                    for p in result.paths
+                ]
+            else:
+                inner = OptYenKSP(
+                    comp.compacted,
+                    source,
+                    target,
+                    use_workspace=self.use_workspace,
+                )
+                result = inner.run(k)
+                paths = result.paths
         return PeeKResult(
             paths=paths,
             k_requested=k,

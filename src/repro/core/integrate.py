@@ -18,7 +18,7 @@ from repro.core.compaction import RegeneratedGraph, adaptive_compact
 from repro.core.pruning import k_upper_bound_prune
 from repro.errors import KSPError
 from repro.ksp.base import KSPAlgorithm, KSPResult
-from repro.ksp.registry import ALGORITHMS
+from repro.ksp.registry import ALGORITHMS, make_algorithm
 from repro.paths import Path
 
 __all__ = ["PrunedKSP", "pruned_ksp"]
@@ -84,7 +84,8 @@ class PrunedKSP(KSPAlgorithm):
 
         if isinstance(comp.compacted, RegeneratedGraph):
             regen = comp.compacted
-            inner = ALGORITHMS[self.inner_name](
+            inner = make_algorithm(
+                self.inner_name,
                 regen.graph,
                 regen.map_vertex(self.source),
                 regen.map_vertex(self.target),
@@ -99,7 +100,8 @@ class PrunedKSP(KSPAlgorithm):
                 for p in result.paths
             ]
         else:
-            inner = ALGORITHMS[self.inner_name](
+            inner = make_algorithm(
+                self.inner_name,
                 comp.compacted,
                 self.source,
                 self.target,

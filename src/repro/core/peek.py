@@ -34,6 +34,7 @@ from repro.core.pruning import PruneResult, k_upper_bound_prune
 from repro.errors import KSPError
 from repro.ksp.base import KSPAlgorithm, KSPResult, KSPStats
 from repro.ksp.optyen import OptYenKSP
+from repro.obs.tracer import get_tracer
 from repro.paths import Path
 
 __all__ = ["PeeK", "PeeKResult", "peek_ksp"]
@@ -139,37 +140,54 @@ class PeeK(KSPAlgorithm):
             )
             return
 
-        pr = k_upper_bound_prune(
-            self.graph,
-            self.source,
-            self.target,
-            k,
-            kernel=self.kernel,
-            strong_edge_prune=self.strong_edge_prune,
-        )
+        tracer = get_tracer()
+        with tracer.span("prune", k=k, kernel=self.kernel) as span:
+            pr = k_upper_bound_prune(
+                self.graph,
+                self.source,
+                self.target,
+                k,
+                kernel=self.kernel,
+                strong_edge_prune=self.strong_edge_prune,
+            )
+            if tracer.enabled:
+                span.add("prune.inspected_paths", pr.stats.inspected_paths)
+                span.add("prune.inspected_invalid", pr.stats.inspected_invalid)
+                span.set_gauge(
+                    "prune.pruned_vertex_fraction", pr.pruned_vertex_fraction
+                )
+                span.set_gauge("prune.bound", pr.bound)
         self.prune_result = pr
 
-        if self.enable_compact:
-            comp = adaptive_compact(
-                self.graph,
-                pr.keep_vertices,
-                pr.keep_edges,
-                alpha=self.alpha,
-                force=self.compaction_force,
-            )
-        else:
-            # "Base + Pruning" ablation: original CSR + status arrays.
-            view = compact_status_array(
-                self.graph, pr.keep_vertices, pr.keep_edges
-            )
-            comp = CompactionResult(
-                strategy="status-array",
-                compacted=view,
-                remaining_vertices=int(pr.keep_vertices.sum()),
-                remaining_edges=view.num_edges,
-                original_edges=self.graph.num_edges,
-                build_work=self.graph.num_vertices + self.graph.num_edges,
-            )
+        with tracer.span("compact") as span:
+            if self.enable_compact:
+                comp = adaptive_compact(
+                    self.graph,
+                    pr.keep_vertices,
+                    pr.keep_edges,
+                    alpha=self.alpha,
+                    force=self.compaction_force,
+                )
+            else:
+                # "Base + Pruning" ablation: original CSR + status arrays.
+                view = compact_status_array(
+                    self.graph, pr.keep_vertices, pr.keep_edges
+                )
+                comp = CompactionResult(
+                    strategy="status-array",
+                    compacted=view,
+                    remaining_vertices=int(pr.keep_vertices.sum()),
+                    remaining_edges=view.num_edges,
+                    original_edges=self.graph.num_edges,
+                    build_work=self.graph.num_vertices + self.graph.num_edges,
+                )
+            if tracer.enabled:
+                span.attrs["strategy"] = comp.strategy
+                span.add("compact.build_work", comp.build_work)
+                span.set_gauge("compact.remaining_edges", comp.remaining_edges)
+                span.set_gauge(
+                    "compact.remaining_vertices", comp.remaining_vertices
+                )
         self.compaction_result = comp
 
         if isinstance(comp.compacted, RegeneratedGraph):
@@ -210,15 +228,25 @@ class PeeK(KSPAlgorithm):
                 return
 
     def run(self, k: int) -> PeeKResult:
-        """Full pipeline: prune for K, compact, compute the K paths."""
-        self.prepare(k)
-        assert self._inner is not None
-        paths = []
-        for path in self.iter_paths():
-            paths.append(path)
-            if len(paths) == k:
-                break
-        self.stats = self._inner.stats  # expose KSP-stage counters
+        """Full pipeline: prune for K, compact, compute the K paths.
+
+        Under an enabled tracer this emits a ``peek`` span with the three
+        nested stage spans — ``prune`` / ``compact`` / ``ksp`` — carrying
+        the per-stage counters (see ``docs/observability.md``).
+        """
+        tracer = get_tracer()
+        with tracer.span("peek", algorithm="PeeK", k=k):
+            self.prepare(k)
+            assert self._inner is not None
+            paths = []
+            with tracer.span("ksp", algorithm=self._inner.name, k=k) as span:
+                for path in self.iter_paths():
+                    paths.append(path)
+                    if len(paths) == k:
+                        break
+                if tracer.enabled:
+                    self._inner._emit_obs(span)
+            self.stats = self._inner.stats  # expose KSP-stage counters
         return PeeKResult(
             paths=paths,
             k_requested=k,
@@ -230,5 +258,7 @@ class PeeK(KSPAlgorithm):
 
 
 def peek_ksp(graph, source: int, target: int, k: int, **kwargs) -> PeeKResult:
-    """Convenience wrapper: ``PeeK(graph, s, t, **kw).run(k)``."""
-    return PeeK(graph, source, target, **kwargs).run(k)
+    """Thin alias for :func:`repro.solve` with ``algorithm="PeeK"``."""
+    from repro.api import solve
+
+    return solve(graph, source, target, k, algorithm="PeeK", **kwargs)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import CommError
+from repro.obs.tracer import get_tracer
 
 __all__ = ["CommModel", "SimComm", "DistReport"]
 
@@ -135,12 +136,18 @@ class SimComm:
 
     def _charge(self, bytes_per_rank: list[int], msgs: int) -> None:
         self.report.supersteps += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add("comm.supersteps")
         if self.num_ranks == 1:
             return  # a single rank never touches the network
         h = max(bytes_per_rank) if bytes_per_rank else 0
         self.report.comm_units += self.model.step_cost(h, msgs)
         self.report.total_bytes += int(sum(bytes_per_rank))
         self.report.total_messages += msgs
+        if tracer.enabled:
+            tracer.add("comm.messages", msgs)
+            tracer.add("comm.bytes", int(sum(bytes_per_rank)))
 
     @staticmethod
     def _nbytes(obj) -> int:

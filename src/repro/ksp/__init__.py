@@ -32,7 +32,7 @@ from repro.ksp.pnc import PostponedNCKSP, pnc_ksp
 from repro.ksp.psb import PSBKSP, PSBv2KSP, PSBv3KSP, psb_ksp
 from repro.ksp.kwalks import k_shortest_walks
 from repro.ksp.grouped import shortest_k_groups, PathGroup
-from repro.ksp.registry import ALGORITHMS, make_algorithm
+from repro.ksp.registry import ALGORITHMS, AlgorithmSpec, make_algorithm
 
 __all__ = [
     "KSPResult",
@@ -58,5 +58,6 @@ __all__ = [
     "shortest_k_groups",
     "PathGroup",
     "ALGORITHMS",
+    "AlgorithmSpec",
     "make_algorithm",
 ]

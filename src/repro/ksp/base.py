@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import KSPError, UnreachableTargetError, VertexError
+from repro.obs.tracer import get_tracer
 from repro.paths import Path
 from repro.sssp.dijkstra import dijkstra
 
@@ -149,15 +150,38 @@ class KSPAlgorithm:
         raise NotImplementedError
 
     def run(self, k: int) -> KSPResult:
-        """Return the K shortest simple paths (fewer when exhausted)."""
+        """Return the K shortest simple paths (fewer when exhausted).
+
+        The run executes under a ``ksp`` span on the global tracer; the
+        run's :class:`KSPStats` are folded into the span's counters when
+        tracing is enabled (see ``docs/observability.md``).
+        """
         if k < 1:
             raise ValueError("k must be >= 1")
-        paths: list[Path] = []
-        for path in self.iter_paths():
-            paths.append(path)
-            if len(paths) == k:
-                break
+        tracer = get_tracer()
+        with tracer.span("ksp", algorithm=self.name, k=k) as span:
+            paths: list[Path] = []
+            for path in self.iter_paths():
+                paths.append(path)
+                if len(paths) == k:
+                    break
+            if tracer.enabled:
+                self._emit_obs(span)
         return KSPResult(paths=paths, k_requested=k, stats=self.stats)
+
+    def _emit_obs(self, span) -> None:
+        """Fold this run's stats into the closing span (enabled path only)."""
+        st = self.stats
+        span.add("ksp.spur_searches", sum(len(t) for t in st.iteration_tasks))
+        span.add("ksp.sssp_calls", st.sssp_calls)
+        # the algorithm's own aggregate (includes resumable-SSSP work that
+        # never goes through the standalone kernels, e.g. SB*'s LazyDijkstra)
+        span.add("ksp.edges_relaxed", st.edges_relaxed)
+        span.add("ksp.vertices_settled", st.vertices_settled)
+        span.add("ksp.express_hits", st.express_hits)
+        span.add("ksp.candidates_generated", st.candidates_generated)
+        span.add("ksp.candidates_deduped", st.candidates_deduped)
+        span.add("ksp.repairs", st.repairs)
 
     def _check_deadline(self) -> None:
         if self.deadline is not None and time.perf_counter() > self.deadline:
@@ -216,6 +240,15 @@ class DeviationKSP(KSPAlgorithm):
 
             self._workspace = SSSPWorkspace(self.graph)
         return self._workspace
+
+    def _emit_obs(self, span) -> None:
+        super()._emit_obs(span)
+        if self._workspace is not None:
+            # epoch count == SSSP queries served by the one reused state
+            span.set_gauge("workspace.epochs", self._workspace.epoch)
+            span.set_gauge(
+                "workspace.memory_bytes", self._workspace.memory_bytes()
+            )
 
     # ------------------------------------------------------------------
     # hooks

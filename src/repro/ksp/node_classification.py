@@ -257,5 +257,7 @@ class NodeClassificationKSP(DeviationKSP):
 
 
 def nc_ksp(graph, source: int, target: int, k: int, **kwargs) -> KSPResult:
-    """Convenience wrapper: ``NodeClassificationKSP(graph, s, t, **kw).run(k)``."""
-    return NodeClassificationKSP(graph, source, target, **kwargs).run(k)
+    """Thin alias for :func:`repro.solve` with ``algorithm="NC"``."""
+    from repro.api import solve
+
+    return solve(graph, source, target, k, algorithm="NC", **kwargs)

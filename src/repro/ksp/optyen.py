@@ -140,5 +140,7 @@ class OptYenKSP(DeviationKSP):
 
 
 def optyen_ksp(graph, source: int, target: int, k: int, **kwargs) -> KSPResult:
-    """Convenience wrapper: ``OptYenKSP(graph, s, t, **kw).run(k)``."""
-    return OptYenKSP(graph, source, target, **kwargs).run(k)
+    """Thin alias for :func:`repro.solve` with ``algorithm="OptYen"``."""
+    from repro.api import solve
+
+    return solve(graph, source, target, k, algorithm="OptYen", **kwargs)

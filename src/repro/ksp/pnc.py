@@ -116,5 +116,7 @@ class PostponedNCKSP(OptYenKSP):
 
 
 def pnc_ksp(graph, source: int, target: int, k: int, **kwargs) -> KSPResult:
-    """Convenience wrapper: ``PostponedNCKSP(graph, s, t, **kw).run(k)``."""
-    return PostponedNCKSP(graph, source, target, **kwargs).run(k)
+    """Thin alias for :func:`repro.solve` with ``algorithm="PNC"``."""
+    from repro.api import solve
+
+    return solve(graph, source, target, k, algorithm="PNC", **kwargs)

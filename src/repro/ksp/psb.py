@@ -155,6 +155,8 @@ class PSBv3KSP(PSBv2KSP):
 def psb_ksp(
     graph, source: int, target: int, k: int, *, variant: str = "v1", **kwargs
 ) -> KSPResult:
-    """Convenience wrapper: ``variant`` ∈ {"v1", "v2", "v3"}."""
-    cls = {"v1": PSBKSP, "v2": PSBv2KSP, "v3": PSBv3KSP}[variant]
-    return cls(graph, source, target, **kwargs).run(k)
+    """Thin alias for :func:`repro.solve`; ``variant`` ∈ {"v1", "v2", "v3"}."""
+    from repro.api import solve
+
+    name = {"v1": "PSB", "v2": "PSB-v2", "v3": "PSB-v3"}[variant]
+    return solve(graph, source, target, k, algorithm=name, **kwargs)

@@ -137,5 +137,7 @@ class SidetrackKSP(DeviationKSP):
 
 
 def sb_ksp(graph, source: int, target: int, k: int, **kwargs) -> KSPResult:
-    """Convenience wrapper: ``SidetrackKSP(graph, s, t, **kw).run(k)``."""
-    return SidetrackKSP(graph, source, target, **kwargs).run(k)
+    """Thin alias for :func:`repro.solve` with ``algorithm="SB"``."""
+    from repro.api import solve
+
+    return solve(graph, source, target, k, algorithm="SB", **kwargs)

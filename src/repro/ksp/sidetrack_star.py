@@ -32,5 +32,7 @@ class SidetrackStarKSP(SidetrackKSP):
 
 
 def sb_star_ksp(graph, source: int, target: int, k: int, **kwargs) -> KSPResult:
-    """Convenience wrapper: ``SidetrackStarKSP(graph, s, t, **kw).run(k)``."""
-    return SidetrackStarKSP(graph, source, target, **kwargs).run(k)
+    """Thin alias for :func:`repro.solve` with ``algorithm="SB*"``."""
+    from repro.api import solve
+
+    return solve(graph, source, target, k, algorithm="SB*", **kwargs)

@@ -34,5 +34,7 @@ class YenKSP(DeviationKSP):
 
 
 def yen_ksp(graph, source: int, target: int, k: int, **kwargs) -> KSPResult:
-    """Convenience wrapper: ``YenKSP(graph, s, t, **kw).run(k)``."""
-    return YenKSP(graph, source, target, **kwargs).run(k)
+    """Thin alias for :func:`repro.solve` with ``algorithm="Yen"``."""
+    from repro.api import solve
+
+    return solve(graph, source, target, k, algorithm="Yen", **kwargs)

@@ -1,0 +1,45 @@
+"""``repro.obs`` — the span-based observability layer.
+
+One substrate for every measurement the repo makes:
+
+>>> from repro import obs
+>>> with obs.use_tracer(obs.Tracer()) as tr:
+...     import repro
+...     _ = repro.solve(graph, s, t, k=8)          # doctest: +SKIP
+>>> print(obs.render_tree(tr.spans))               # doctest: +SKIP
+
+See ``docs/observability.md`` for the span/counter naming scheme and the
+JSONL trace format; :mod:`repro.obs.tracer` for the design constraints
+(zero deps, near-free when disabled, thread-correct attribution).
+"""
+
+from repro.obs.export import load_spans, read_jsonl, write_jsonl
+from repro.obs.render import render_counters, render_tree
+from repro.obs.tracer import (
+    NOOP_TRACER,
+    NULL_SPAN,
+    NoOpTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoOpTracer",
+    "NOOP_TRACER",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "traced",
+    "write_jsonl",
+    "read_jsonl",
+    "load_spans",
+    "render_tree",
+    "render_counters",
+]

@@ -1,0 +1,51 @@
+"""JSONL trace export / import.
+
+A trace file is newline-delimited JSON: one ``meta`` record first, then
+one record per finished span (the dict shape of
+:meth:`repro.obs.tracer.Span.to_record`).  The format is append-friendly,
+greppable, and loads with nothing but the stdlib — the same reasons the
+Chrome trace and OpenTelemetry file exporters picked line-delimited JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tracer import Tracer
+
+__all__ = ["write_jsonl", "read_jsonl", "load_spans"]
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Write every finished span of ``tracer`` to ``path`` as JSONL."""
+    path = Path(path)
+    records = tracer.records()
+    meta = {
+        "type": "meta",
+        "version": 1,
+        "span_count": len(records),
+        "orphan_counters": dict(tracer.orphan_counters),
+    }
+    with path.open("w") as fh:
+        fh.write(json.dumps(meta) + "\n")
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Every record in the trace file (meta + spans), in file order."""
+    out: list[dict[str, Any]] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def load_spans(path: str | Path) -> list[dict[str, Any]]:
+    """Just the span records of a trace file."""
+    return [r for r in read_jsonl(path) if r.get("type") == "span"]

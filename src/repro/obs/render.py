@@ -1,0 +1,109 @@
+"""ASCII renderers for trace data: stage tree and flame bars.
+
+Operates on span *records* (the dicts written to JSONL) or live
+:class:`~repro.obs.tracer.Span` objects, so it works equally on a
+just-finished tracer and on a trace file read back days later.  Output is
+plain text suitable for ``results/`` artefacts and terminal inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["render_tree", "render_counters"]
+
+_BAR_CHARS = " ▏▎▍▌▋▊▉█"
+
+
+def _as_records(spans: Iterable[Any]) -> list[dict[str, Any]]:
+    out = []
+    for s in spans:
+        out.append(s if isinstance(s, dict) else s.to_record())
+    return out
+
+
+def _bar(share: float, width: int) -> str:
+    """A unicode block bar of ``share``·``width`` cells (eighth-steps)."""
+    share = min(max(share, 0.0), 1.0)
+    eighths = int(round(share * width * 8))
+    full, rem = divmod(eighths, 8)
+    return "█" * full + (_BAR_CHARS[rem] if rem else "")
+
+
+def _fmt_value(v: float) -> str:
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:.4g}"
+    return str(int(v))
+
+
+def _counter_suffix(rec: dict[str, Any], max_items: int) -> str:
+    items = sorted(rec.get("counters", {}).items())
+    shown = [f"{k}={_fmt_value(v)}" for k, v in items[:max_items]]
+    if len(items) > max_items:
+        shown.append(f"(+{len(items) - max_items} more)")
+    return "  ".join(shown)
+
+
+def render_tree(
+    spans: Iterable[Any],
+    *,
+    bar_width: int = 24,
+    max_counters: int = 3,
+) -> str:
+    """The span forest as an indented stage tree with duration bars.
+
+    Each line shows the span name, wall time, a bar scaled to its share of
+    its root span (an inline flamegraph), the percentage, and up to
+    ``max_counters`` counters.  Spans are nested under their parents and
+    ordered by start time.
+    """
+    records = _as_records(spans)
+    if not records:
+        return "(no spans)"
+    by_id = {r["id"]: r for r in records}
+    children: dict[Any, list[dict[str, Any]]] = {}
+    roots: list[dict[str, Any]] = []
+    for r in records:
+        parent = r.get("parent")
+        if parent in by_id:
+            children.setdefault(parent, []).append(r)
+        else:
+            roots.append(r)
+    for sibs in children.values():
+        sibs.sort(key=lambda r: r["start"])
+    roots.sort(key=lambda r: r["start"])
+
+    lines: list[str] = []
+
+    def emit(rec: dict[str, Any], prefix: str, tail: str, root_dur: float) -> None:
+        share = rec["duration"] / root_dur if root_dur > 0 else 0.0
+        label = f"{prefix}{tail}{rec['name']}"
+        counters = _counter_suffix(rec, max_counters)
+        lines.append(
+            f"{label:<32} {rec['duration'] * 1e3:>9.3f}ms "
+            f"{_bar(share, bar_width):<{bar_width}} {share:>6.1%}"
+            + (f"  {counters}" if counters else "")
+        )
+        kids = children.get(rec["id"], [])
+        child_prefix = prefix + ("   " if tail in ("", "└─ ") else "│  ")
+        for i, kid in enumerate(kids):
+            kid_tail = "└─ " if i == len(kids) - 1 else "├─ "
+            emit(kid, child_prefix, kid_tail, root_dur)
+
+    for root in roots:
+        emit(root, "", "", root["duration"])
+    return "\n".join(lines)
+
+
+def render_counters(spans: Iterable[Any]) -> str:
+    """Counter totals aggregated over every span, one per line."""
+    totals: dict[str, float] = {}
+    for rec in _as_records(spans):
+        for k, v in rec.get("counters", {}).items():
+            totals[k] = totals.get(k, 0) + v
+    if not totals:
+        return "(no counters)"
+    width = max(len(k) for k in totals)
+    return "\n".join(
+        f"{k:<{width}}  {_fmt_value(v)}" for k, v in sorted(totals.items())
+    )

@@ -1,0 +1,400 @@
+"""Span-based tracing + metrics: the one instrumentation substrate.
+
+Every measured claim in the paper — pruning ratios, stage breakdowns,
+K-(in)sensitivity — is a *per-phase* number, so the library carries one
+uniform layer for producing them: a :class:`Tracer` whose **spans** nest
+(context-manager or decorator), carry typed **counters / gauges /
+histograms**, and export to JSONL for offline analysis (see
+``docs/observability.md`` for the file format and
+:mod:`repro.obs.render` for the ASCII stage tree).
+
+Design constraints, in priority order:
+
+1. **Zero dependencies** — stdlib only, importable from the innermost SSSP
+   kernel without cycles (nothing here imports from ``repro``).
+2. **Disabled means free.**  The global tracer defaults to
+   :data:`NOOP_TRACER`; every call on it is a constant-time ``pass`` and
+   hot kernels additionally gate their counter batches on
+   ``tracer.enabled``, so instrumentation stays in library code
+   permanently (the ``slow``-marked overhead test bounds the disabled-path
+   cost at <3% of a medium KSP query).
+3. **Thread-correct attribution.**  The active-span stack is
+   thread-local; a worker thread opened under :meth:`Tracer.attach`
+   parents its spans to the span its scheduler was running, so fan-out
+   work is attributed to the query that caused it.
+
+Instrumentation points emit *aggregates*, not events: an SSSP kernel adds
+its relaxation totals once per call, never per edge — which is why the
+enabled path is cheap too (one dict update per kernel invocation).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoOpTracer",
+    "NOOP_TRACER",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "traced",
+]
+
+
+class Span:
+    """One timed region of work, with counters attached.
+
+    Created by :meth:`Tracer.span` and activated by ``with``:  entering
+    pushes it onto the owning tracer's thread-local stack (making it the
+    target of :meth:`Tracer.add` calls), exiting records the duration and
+    hands it to the tracer's finished list.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "thread",
+        "attrs",
+        "counters",
+        "gauges",
+        "hists",
+        "start",
+        "duration",
+        "_tracer",
+    )
+
+    #: real spans accept counters; the shared null span reports False
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread = threading.current_thread().name
+        self.attrs = attrs
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        #: histogram name -> [count, sum, min, max]
+        self.hists: dict[str, list[float]] = {}
+        self.start = 0.0
+        self.duration = 0.0
+        self._tracer = tracer
+
+    # -- metric types ---------------------------------------------------
+    def add(self, counter: str, value: float = 1) -> None:
+        """Increment a monotonic counter on this span."""
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def set_gauge(self, gauge: str, value: float) -> None:
+        """Record a point-in-time value (last write wins)."""
+        self.gauges[gauge] = float(value)
+
+    def observe(self, hist: str, value: float) -> None:
+        """Fold one observation into a (count, sum, min, max) histogram."""
+        h = self.hists.get(hist)
+        if h is None:
+            self.hists[hist] = [1, float(value), float(value), float(value)]
+        else:
+            h[0] += 1
+            h[1] += value
+            if value < h[2]:
+                h[2] = value
+            if value > h[3]:
+                h[3] = value
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = self._tracer._clock() - self.start
+        if exc is not None:
+            self.attrs["error"] = repr(exc)
+        self._tracer._pop(self)
+        return False
+
+    def to_record(self) -> dict[str, Any]:
+        """The span as a JSONL-ready dict (see docs/observability.md)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "thread": self.thread,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": _json_safe(self.attrs),
+            "counters": dict(self.counters),
+            "gauges": _json_safe(self.gauges),
+            "hists": {k: list(v) for k, v in self.hists.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration * 1e3:.3f}ms)"
+        )
+
+
+def _json_safe(mapping: dict[str, Any]) -> dict[str, Any]:
+    """Replace non-finite floats (json.loads chokes on bare Infinity)."""
+    out = {}
+    for k, v in mapping.items():
+        if isinstance(v, float) and (v != v or v in (float("inf"), float("-inf"))):
+            out[k] = repr(v)
+        else:
+            out[k] = v
+    return out
+
+
+class _NullSpan:
+    """The shared do-nothing span the no-op tracer hands out."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, counter: str, value: float = 1) -> None:
+        pass
+
+    def set_gauge(self, gauge: str, value: float) -> None:
+        pass
+
+    def observe(self, hist: str, value: float) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NoOpTracer:
+    """The always-installed default: every operation is a constant ``pass``.
+
+    Hot call sites check :attr:`enabled` once and skip building their
+    counter batch entirely; everything else may call methods blindly.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def add(self, counter: str, value: float = 1) -> None:
+        pass
+
+    def set_gauge(self, gauge: str, value: float) -> None:
+        pass
+
+    def observe(self, hist: str, value: float) -> None:
+        pass
+
+    @contextmanager
+    def attach(self, span: object) -> Iterator[None]:
+        yield
+
+
+NOOP_TRACER = NoOpTracer()
+
+
+class Tracer:
+    """Collects finished spans; the active-span stack is per-thread.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (``time.perf_counter`` by default); spans
+        record ``start`` and ``duration`` in its units.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._tls = threading.local()
+        #: finished spans, in completion order (children before parents)
+        self.spans: list[Span] = []
+        #: counters recorded while no span was active on the thread
+        self.orphan_counters: dict[str, float] = {}
+
+    # -- thread-local stack --------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - misnested exit
+            stack.remove(span)
+        with self._lock:
+            self.spans.append(span)
+
+    # -- span creation --------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; ``with tracer.span("stage"):`` activates it.
+
+        The parent is the thread's current active span, falling back to
+        the span :meth:`attach` adopted for this thread (worker-thread
+        attribution), else None (a root).
+        """
+        stack = self._stack()
+        if stack:
+            parent = stack[-1].span_id
+        else:
+            parent = getattr(self._tls, "inherit", None)
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(self, name, span_id, parent, attrs)
+
+    def current(self) -> Span | _NullSpan:
+        """The thread's active span, or :data:`NULL_SPAN` when none."""
+        stack = self._stack()
+        return stack[-1] if stack else NULL_SPAN
+
+    @contextmanager
+    def attach(self, span: Span | int | None) -> Iterator[None]:
+        """Adopt ``span`` as this thread's parent for new root spans.
+
+        A scheduler hands the span it is executing under to its worker
+        threads; spans the workers open then parent correctly even though
+        the workers' own stacks start empty.
+        """
+        prev = getattr(self._tls, "inherit", None)
+        self._tls.inherit = (
+            span.span_id if isinstance(span, Span) else span
+        )
+        try:
+            yield
+        finally:
+            self._tls.inherit = prev
+
+    # -- metrics on the active span ------------------------------------
+    def add(self, counter: str, value: float = 1) -> None:
+        """Increment ``counter`` on the thread's active span.
+
+        With no active span the value accumulates in
+        :attr:`orphan_counters` instead of being lost.
+        """
+        stack = self._stack()
+        if stack:
+            stack[-1].add(counter, value)
+        else:
+            with self._lock:
+                self.orphan_counters[counter] = (
+                    self.orphan_counters.get(counter, 0) + value
+                )
+
+    def set_gauge(self, gauge: str, value: float) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].set_gauge(gauge, value)
+
+    def observe(self, hist: str, value: float) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].observe(hist, value)
+
+    # -- inspection -----------------------------------------------------
+    def find(self, name: str) -> list[Span]:
+        """All finished spans with this name, in completion order."""
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def total(self, counter: str) -> float:
+        """Sum of one counter over every finished span (+ orphans)."""
+        with self._lock:
+            out = sum(s.counters.get(counter, 0) for s in self.spans)
+            return out + self.orphan_counters.get(counter, 0)
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every finished span as a JSONL-ready dict."""
+        with self._lock:
+            return [s.to_record() for s in self.spans]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(spans={len(self.spans)})"
+
+
+# ---------------------------------------------------------------------------
+# the process-global tracer
+# ---------------------------------------------------------------------------
+_GLOBAL: Tracer | NoOpTracer = NOOP_TRACER
+
+
+def get_tracer() -> Tracer | NoOpTracer:
+    """The process-global tracer (the no-op singleton unless installed)."""
+    return _GLOBAL
+
+
+def set_tracer(tracer: Tracer | NoOpTracer | None) -> Tracer | NoOpTracer:
+    """Install ``tracer`` globally (``None`` restores the no-op); returns it."""
+    global _GLOBAL
+    _GLOBAL = tracer if tracer is not None else NOOP_TRACER
+    return _GLOBAL
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NoOpTracer) -> Iterator[Tracer | NoOpTracer]:
+    """Temporarily install ``tracer``; restores the previous one on exit."""
+    global _GLOBAL
+    prev = _GLOBAL
+    _GLOBAL = tracer
+    try:
+        yield tracer
+    finally:
+        _GLOBAL = prev
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable:
+    """Decorator: run the function under a span on the global tracer.
+
+    >>> @traced("load")
+    ... def load(): ...
+    """
+
+    def deco(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            with get_tracer().span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco

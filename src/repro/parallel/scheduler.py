@@ -32,6 +32,7 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
+from repro.obs.tracer import get_tracer
 from repro.parallel.workload import JobKind, Phase, TaskPhase, Workload
 
 __all__ = ["MachineModel", "SimReport", "simulate"]
@@ -167,13 +168,18 @@ def simulate(
     if threads < 1:
         raise ValueError("threads must be >= 1")
     model = model or MachineModel()
-    phase_times: list[tuple[str, float]] = []
-    total = 0.0
-    for phase in workload.phases:
-        t = _phase_time(phase, threads, model)
-        label = getattr(phase, "label", "") or phase.kind.value
-        phase_times.append((label, t))
-        total += t
+    tracer = get_tracer()
+    with tracer.span("parallel.simulate", threads=threads) as span:
+        phase_times: list[tuple[str, float]] = []
+        total = 0.0
+        for phase in workload.phases:
+            t = _phase_time(phase, threads, model)
+            label = getattr(phase, "label", "") or phase.kind.value
+            phase_times.append((label, t))
+            total += t
+        if tracer.enabled:
+            span.add("parallel.phases", len(phase_times))
+            span.set_gauge("parallel.time_units", total)
     return SimReport(
         threads=threads,
         time_units=total,

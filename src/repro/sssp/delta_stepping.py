@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import get_tracer
 from repro.paths import INF
 from repro.sssp.result import SSSPResult, SSSPStats
 
@@ -208,4 +209,10 @@ def delta_stepping(
         stats.phases += 1
         stats.phase_work.append(int(edge_idx.size))
 
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.add("sssp.calls")
+        tracer.add("sssp.edges_relaxed", stats.edges_relaxed)
+        tracer.add("sssp.vertices_settled", stats.vertices_settled)
+        tracer.add("sssp.bucket_phases", stats.phases)
     return SSSPResult(source=source, dist=dist, parent=parent, stats=stats)

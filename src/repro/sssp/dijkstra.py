@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import get_tracer
 from repro.paths import INF
 from repro.sssp.result import SSSPResult, SSSPStats
 from repro.sssp.workspace import SSSPWorkspace, WorkspaceResult
@@ -156,6 +157,12 @@ def dijkstra(
     # parallel-phase structure: report it so the simulator can model the
     # non-scalable inner loop.
     stats.phases = stats.vertices_settled
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.add("sssp.calls")
+        tracer.add("sssp.edges_relaxed", stats.edges_relaxed)
+        tracer.add("sssp.vertices_settled", stats.vertices_settled)
+        tracer.add("sssp.heap_pushes", stats.heap_pushes)
     return SSSPResult(source=source, dist=dist, parent=parent, stats=stats)
 
 
@@ -243,4 +250,13 @@ def _dijkstra_workspace(
     stats.edges_relaxed = relaxed
     stats.heap_pushes = pushes
     stats.phases = settled_ct
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.add("sssp.calls")
+        tracer.add("sssp.edges_relaxed", relaxed)
+        tracer.add("sssp.vertices_settled", settled_ct)
+        tracer.add("sssp.heap_pushes", pushes)
+        tracer.add("workspace.queries")
+        if ep > 1:
+            tracer.add("workspace.epoch_reuses")
     return WorkspaceResult(ws, source, ep, stats)

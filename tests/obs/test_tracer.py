@@ -1,0 +1,214 @@
+"""Unit tests for the span/tracer substrate (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_TRACER,
+    NULL_SPAN,
+    NoOpTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    load_spans,
+    read_jsonl,
+    render_counters,
+    render_tree,
+    set_tracer,
+    traced,
+    use_tracer,
+    write_jsonl,
+)
+
+
+def test_span_nesting_records_parent_ids():
+    tr = Tracer()
+    with tr.span("outer") as outer:
+        with tr.span("inner") as inner:
+            pass
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    # children complete first
+    assert [s.name for s in tr.spans] == ["inner", "outer"]
+    assert all(s.duration >= 0 for s in tr.spans)
+
+
+def test_counters_attach_to_active_span():
+    tr = Tracer()
+    with tr.span("work") as span:
+        tr.add("edges", 10)
+        tr.add("edges", 5)
+        span.add("direct")
+    assert span.counters == {"edges": 15, "direct": 1}
+    assert tr.total("edges") == 15
+
+
+def test_gauges_and_histograms():
+    tr = Tracer()
+    with tr.span("work") as span:
+        span.set_gauge("epochs", 3)
+        span.set_gauge("epochs", 7)  # last write wins
+        for v in (2.0, 9.0, 4.0):
+            span.observe("task_size", v)
+    assert span.gauges == {"epochs": 7.0}
+    count, total, lo, hi = span.hists["task_size"]
+    assert (count, total, lo, hi) == (3, 15.0, 2.0, 9.0)
+
+
+def test_orphan_counters_not_lost():
+    tr = Tracer()
+    tr.add("stray", 2)
+    with tr.span("work"):
+        tr.add("inside")
+    tr.add("stray", 3)
+    assert tr.orphan_counters == {"stray": 5}
+    assert tr.total("stray") == 5
+    assert tr.total("inside") == 1
+
+
+def test_find_and_current():
+    tr = Tracer()
+    assert tr.current() is NULL_SPAN
+    with tr.span("stage") as s1:
+        assert tr.current() is s1
+    with tr.span("stage"):
+        pass
+    assert len(tr.find("stage")) == 2
+    assert tr.find("missing") == []
+
+
+def test_exception_annotates_span_and_propagates():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        with tr.span("boom"):
+            raise ValueError("nope")
+    (span,) = tr.find("boom")
+    assert "ValueError" in span.attrs["error"]
+
+
+def test_worker_thread_attribution_via_attach():
+    tr = Tracer()
+    results = []
+
+    def worker(parent: Span) -> None:
+        with tr.attach(parent):
+            with tr.span("task") as s:
+                s.add("done")
+        results.append(s)
+
+    with tr.span("schedule") as sched:
+        t = threading.Thread(target=worker, args=(sched,))
+        t.start()
+        t.join()
+    (task,) = results
+    assert task.parent_id == sched.span_id
+    assert task.thread != sched.thread
+
+
+def test_global_tracer_default_is_noop():
+    assert get_tracer() is NOOP_TRACER
+    assert not get_tracer().enabled
+    # every operation is a harmless pass returning the shared null span
+    span = NOOP_TRACER.span("x", a=1)
+    with span as s:
+        s.add("c")
+        s.set_gauge("g", 1)
+        s.observe("h", 1)
+    NOOP_TRACER.add("c")
+    with NOOP_TRACER.attach(None):
+        pass
+
+
+def test_set_tracer_none_restores_noop():
+    tr = Tracer()
+    assert set_tracer(tr) is tr
+    assert get_tracer() is tr
+    assert set_tracer(None) is NOOP_TRACER
+    assert get_tracer() is NOOP_TRACER
+
+
+def test_use_tracer_restores_previous_even_on_error():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with use_tracer(tr):
+            assert get_tracer() is tr
+            raise RuntimeError
+    assert get_tracer() is NOOP_TRACER
+
+
+def test_traced_decorator():
+    tr = Tracer()
+
+    @traced("compute", flavour="test")
+    def compute(x):
+        return x + 1
+
+    with use_tracer(tr):
+        assert compute(1) == 2
+    (span,) = tr.find("compute")
+    assert span.attrs == {"flavour": "test"}
+    # outside a tracer the decorator is a no-op wrapper
+    assert compute(2) == 3
+    assert len(tr.spans) == 1
+
+
+def test_noop_tracer_instances_are_disabled():
+    assert not NoOpTracer().enabled
+    assert Tracer().enabled
+
+
+# ---------------------------------------------------------------------------
+# JSONL schema
+# ---------------------------------------------------------------------------
+def _sample_tracer() -> Tracer:
+    tr = Tracer()
+    tr.add("orphan", 4)
+    with tr.span("root", k=8):
+        tr.add("sssp.calls", 2)
+        with tr.span("child") as c:
+            c.set_gauge("bound", float("inf"))
+            c.observe("h", 1.5)
+    return tr
+
+
+def test_jsonl_schema_and_roundtrip(tmp_path):
+    tr = _sample_tracer()
+    out = tmp_path / "trace.jsonl"
+    write_jsonl(tr, out)
+
+    lines = out.read_text().strip().splitlines()
+    records = [json.loads(line) for line in lines]  # every line valid JSON
+    meta, spans = records[0], records[1:]
+    assert meta["type"] == "meta"
+    assert meta["version"] == 1
+    assert meta["span_count"] == len(spans) == 2
+    assert meta["orphan_counters"] == {"orphan": 4}
+
+    for rec in spans:
+        assert rec["type"] == "span"
+        for key in ("id", "parent", "name", "start", "duration", "counters"):
+            assert key in rec, key
+    by_name = {r["name"]: r for r in spans}
+    assert by_name["child"]["parent"] == by_name["root"]["id"]
+    assert by_name["root"]["counters"] == {"sssp.calls": 2}
+    assert by_name["child"]["gauges"]["bound"] == "inf"  # non-finite stringified
+    assert by_name["child"]["hists"]["h"] == [1, 1.5, 1.5, 1.5]
+
+    assert read_jsonl(out) == records
+    assert load_spans(out) == spans
+
+
+def test_render_tree_accepts_spans_and_records(tmp_path):
+    tr = _sample_tracer()
+    text = render_tree(tr.spans)
+    assert "root" in text and "child" in text
+    assert text.index("root") < text.index("child")
+    out = tmp_path / "t.jsonl"
+    write_jsonl(tr, out)
+    assert "child" in render_tree(load_spans(out))
+    counters = render_counters(tr.spans)
+    assert "sssp.calls" in counters
