@@ -19,8 +19,11 @@ test-slow:
 	REPRO_RUN_SLOW=1 $(PYTHON) -m pytest -q -m slow
 
 ## Lint (CI runs this; requires ruff, which is not a runtime dependency).
+## repro-lint is the repo-specific AST pass (rules RPR001-RPR005; see
+## docs/correctness_tooling.md).
 lint:
 	ruff check src tests
+	$(PYTHON) -m repro.analysis.lint src
 
 ## KSP hot-path benchmark: workspace on/off for Yen/OptYen/PeeK.
 ## Writes BENCH_hot_path.json and results/hot_path.txt.

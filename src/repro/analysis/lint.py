@@ -1,0 +1,522 @@
+"""repro-lint: the repo-specific AST lint pass.
+
+Ruff guards generic Python hygiene; this pass guards the invariants that
+are *specific to this codebase* and that no general-purpose linter can
+know about — the immutability contract of :class:`~repro.graph.csr.CSRGraph`,
+the pairing discipline of tracer spans, the SSSP-workspace allocation
+budget of the KSP hot path, float-cost comparison hygiene, and the
+thin-alias contract of the registry free functions.
+
+Rules (catalogue with examples in ``docs/correctness_tooling.md``):
+
+* **RPR001** — no mutation of CSRGraph backing arrays (``indptr`` /
+  ``indices`` / ``weights``) outside ``repro/graph/`` and
+  ``repro/core/compaction.py``.  Every kernel relies on graphs being
+  frozen after construction; deletion goes through the compaction views.
+* **RPR002** — ``Tracer.span`` only as a ``with`` context (or via the
+  ``traced`` decorator); a span entered manually and lost on an exception
+  corrupts the whole stage tree.  ``repro/obs/`` itself is exempt.
+* **RPR003** — no O(n) ``np.full`` / ``np.zeros`` / ``np.ones`` /
+  ``np.empty`` allocations lexically inside loops in ``repro/ksp/`` and
+  ``repro/sssp/``; per-spur state must route through
+  :class:`~repro.sssp.workspace.SSSPWorkspace`.  Small constant-size
+  allocations (≤ 64 elements) are allowed.
+* **RPR004** — no ``==`` / ``!=`` on path-cost expressions (identifiers
+  matching dist/distance/cost/bound/total); use
+  :func:`repro.paths.costs_close`.
+* **RPR005** — the registry free functions (``yen_ksp`` ... ``peek_ksp``)
+  must stay thin aliases of :func:`repro.solve` — a docstring, the solve
+  import, at most simple name bindings, and one ``return solve(...)``.
+
+Suppression: append ``# repro-lint: disable=RPR003`` (comma-separated ids,
+or ``all``) to the offending line.  A file-level
+``# repro-lint: module=repro/ksp/foo.py`` comment overrides the inferred
+module path — the regression fixtures under ``tests/analysis/fixtures/``
+use it to exercise path-scoped rules from outside the source tree.
+
+Run as ``python -m repro.analysis.lint src/`` or via the installed
+``repro-lint`` entry point; exits non-zero on any finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import (
+    Finding,
+    exit_code,
+    findings_to_json,
+    render_findings,
+)
+
+__all__ = ["RULES", "LintRule", "lint_source", "lint_file", "lint_paths", "main"]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """Catalogue entry for one rule (id, one-liner, where it applies)."""
+
+    id: str
+    summary: str
+    scope: str  # human description of the path scope
+
+
+RULES: dict[str, LintRule] = {
+    r.id: r
+    for r in (
+        LintRule(
+            "RPR001",
+            "CSRGraph backing arrays (indptr/indices/weights) are immutable",
+            "everywhere except repro/graph/ and repro/core/compaction.py",
+        ),
+        LintRule(
+            "RPR002",
+            "Tracer.span must be used as a `with` context, never entered manually",
+            "everywhere except repro/obs/",
+        ),
+        LintRule(
+            "RPR003",
+            "no O(n) numpy allocations inside loops on the KSP/SSSP hot path",
+            "repro/ksp/ and repro/sssp/ (workspace.py exempt)",
+        ),
+        LintRule(
+            "RPR004",
+            "path costs are never compared with == / != (use repro.paths.costs_close)",
+            "everywhere",
+        ),
+        LintRule(
+            "RPR005",
+            "registry free functions stay thin aliases of repro.solve",
+            "repro/ksp/ and repro/core/peek.py",
+        ),
+    )
+}
+
+_CSR_FIELDS = frozenset({"indptr", "indices", "weights"})
+_ARRAY_MUTATORS = frozenset({"fill", "sort", "put", "partition", "resize", "itemset"})
+_NP_ALLOCATORS = frozenset({"full", "zeros", "ones", "empty"})
+#: constant-size allocations at or below this are not "O(n)" (RPR003)
+_SMALL_ALLOC = 64
+_COST_NAME_RE = re.compile(
+    r"(^|_)(dist|dists|distance|distances|cost|costs|bound|total)($|_)"
+)
+#: the registry aliases RPR005 polices (must mirror repro.ksp.registry)
+_ALIAS_FUNCTIONS = frozenset(
+    {
+        "yen_ksp",
+        "nc_ksp",
+        "optyen_ksp",
+        "sb_ksp",
+        "sb_star_ksp",
+        "pnc_ksp",
+        "psb_ksp",
+        "peek_ksp",
+    }
+)
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*(disable|module)\s*=\s*([\w./,\- ]+)")
+
+
+def _module_path(filename: str, override: str | None) -> str:
+    """Repo-relative module path used for rule scoping.
+
+    The last ``repro`` path component anchors the path (``src/repro/ksp/x.py``
+    → ``repro/ksp/x.py``); a file-level ``module=`` pragma overrides it.
+    """
+    if override:
+        return override.strip()
+    parts = Path(filename).as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return parts[-1]
+
+
+def _parse_pragmas(source: str) -> tuple[dict[int, frozenset[str]], str | None]:
+    """Per-line disabled-rule sets and the optional module override."""
+    disabled: dict[int, frozenset[str]] = {}
+    module_override: str | None = None
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(line)
+        if not m:
+            continue
+        kind, value = m.group(1), m.group(2)
+        if kind == "module":
+            module_override = value.strip()
+        else:
+            rules = frozenset(v.strip().upper() for v in value.split(","))
+            disabled[lineno] = rules
+    return disabled, module_override
+
+
+def _is_cost_expr(node: ast.expr) -> str | None:
+    """The cost-looking identifier inside ``node``, or None.
+
+    Matches a bare name, an attribute access, or a subscript whose base
+    matches — ``prefix_dist``, ``path.distance``, ``dist[v]`` all count.
+    """
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    elif isinstance(node, ast.Subscript):
+        return _is_cost_expr(node.value)
+    elif isinstance(node, ast.Call):
+        return None  # function results are the callee's responsibility
+    else:
+        return None
+    return ident if _COST_NAME_RE.search(ident) else None
+
+
+def _csr_attr_name(node: ast.expr) -> str | None:
+    """``"x.weights"`` when ``node`` is an attribute access on a CSR field."""
+    if isinstance(node, ast.Attribute) and node.attr in _CSR_FIELDS:
+        return f"{ast.unparse(node.value)}.{node.attr}"
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, module: str, path: str, disabled: dict[int, frozenset[str]]):
+        self.module = module
+        self.path = path
+        self.disabled = disabled
+        self.findings: list[Finding] = []
+        self._loop_depth = 0
+        self._with_contexts: set[int] = set()  # id() of with-item call nodes
+        # rule applicability, decided once per file
+        self.check_001 = not (
+            module.startswith("repro/graph/") or module == "repro/core/compaction.py"
+        )
+        self.check_002 = not module.startswith("repro/obs/")
+        self.check_003 = (
+            module.startswith(("repro/ksp/", "repro/sssp/"))
+            and not module.endswith("workspace.py")
+        )
+        self.check_005 = module.startswith("repro/ksp/") or module == "repro/core/peek.py"
+
+    # ------------------------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", None)
+        if lineno is not None:
+            off = self.disabled.get(lineno, frozenset())
+            if rule in off or "ALL" in off:
+                return
+        self.findings.append(
+            Finding(
+                tool="lint",
+                rule=rule,
+                severity="error",
+                message=message,
+                path=self.path,
+                line=lineno,
+                column=getattr(node, "col_offset", None),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # RPR001 — CSR backing-array mutation
+    # ------------------------------------------------------------------
+    def _check_mutation_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_mutation_target(elt)
+            return
+        if isinstance(target, ast.Subscript):
+            name = _csr_attr_name(target.value)
+            if name:
+                self._emit(
+                    "RPR001",
+                    target,
+                    f"assignment into CSR backing array `{name}[...]`; "
+                    "CSRGraph is immutable outside repro.graph / "
+                    "repro.core.compaction — use a compaction view or "
+                    "build a new graph",
+                )
+        # Plain attribute rebinding (`self.weights = ...`) is deliberately
+        # not flagged: classes outside repro.graph own arrays with these
+        # names (EdgeSwapView, SSSP kernels); the contract protects the
+        # *contents* of a constructed CSR, not the attribute slot.
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.check_001:
+            for t in node.targets:
+                self._check_mutation_target(t)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.check_001:
+            self._check_mutation_target(node.target)
+            name = _csr_attr_name(node.target)
+            if name:
+                self._emit(
+                    "RPR001",
+                    node,
+                    f"in-place update of CSR backing array `{name}`; "
+                    "CSRGraph is immutable outside repro.graph / "
+                    "repro.core.compaction",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # loops (RPR003 context)
+    # ------------------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    # ------------------------------------------------------------------
+    # with-items (RPR002 context)
+    # ------------------------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self._with_contexts.add(id(item.context_expr))
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # calls: RPR001 mutating methods, RPR002 span misuse, RPR003 allocs
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            self.check_001
+            and isinstance(func, ast.Attribute)
+            and func.attr in _ARRAY_MUTATORS
+        ):
+            name = _csr_attr_name(func.value)
+            if name:
+                self._emit(
+                    "RPR001",
+                    node,
+                    f"mutating call `{name}.{func.attr}(...)` on a CSR "
+                    "backing array; CSRGraph is immutable outside "
+                    "repro.graph / repro.core.compaction",
+                )
+        if self.check_001:
+            for kw in node.keywords:
+                if kw.arg == "out" and kw.value is not None:
+                    for sub in ast.walk(kw.value):
+                        name = _csr_attr_name(sub)
+                        if name:
+                            self._emit(
+                                "RPR001",
+                                node,
+                                f"`out={name}` writes into a CSR backing "
+                                "array; CSRGraph is immutable outside "
+                                "repro.graph / repro.core.compaction",
+                            )
+                            break
+
+        if (
+            self.check_002
+            and isinstance(func, ast.Attribute)
+            and func.attr == "span"
+            and id(node) not in self._with_contexts
+        ):
+            self._emit(
+                "RPR002",
+                node,
+                "Tracer.span(...) outside a `with` statement; a manually "
+                "entered span that is not exited on every path corrupts "
+                "the span stack — use `with tracer.span(...):` or @traced",
+            )
+
+        if (
+            self.check_003
+            and self._loop_depth > 0
+            and isinstance(func, ast.Attribute)
+            and func.attr in _NP_ALLOCATORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+        ):
+            small = (
+                bool(node.args)
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, int)
+                and node.args[0].value <= _SMALL_ALLOC
+            )
+            if not small:
+                self._emit(
+                    "RPR003",
+                    node,
+                    f"np.{func.attr}(...) inside a loop on the KSP/SSSP hot "
+                    "path; hoist the buffer out of the loop or route the "
+                    "state through repro.sssp.workspace.SSSPWorkspace",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # RPR004 — float cost equality
+    # ------------------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for op, right in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (node.left, right):
+                ident = _is_cost_expr(side)
+                if ident:
+                    opname = "==" if isinstance(op, ast.Eq) else "!="
+                    self._emit(
+                        "RPR004",
+                        node,
+                        f"`{opname}` comparison on path cost `{ident}`; "
+                        "float costs accumulate rounding error — use "
+                        "repro.paths.costs_close (or math.isnan for "
+                        "NaN probes)",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # RPR005 — thin-alias contract
+    # ------------------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self.check_005 and node.name in _ALIAS_FUNCTIONS and node.col_offset == 0:
+            self._check_alias(node)
+        self.generic_visit(node)
+
+    def _check_alias(self, node: ast.FunctionDef) -> None:
+        returns = 0
+        for i, stmt in enumerate(node.body):
+            if (
+                i == 0
+                and isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                continue  # docstring
+            if isinstance(stmt, ast.ImportFrom) and stmt.module in (
+                "repro.api",
+                "repro",
+            ):
+                continue
+            if isinstance(stmt, ast.Assign) and not any(
+                isinstance(n, ast.Call) for n in ast.walk(stmt.value)
+            ):
+                continue  # simple name binding (psb_ksp's variant table)
+            if isinstance(stmt, ast.Return):
+                returns += 1
+                call = stmt.value
+                if (
+                    isinstance(call, ast.Call)
+                    and (
+                        (isinstance(call.func, ast.Name) and call.func.id == "solve")
+                        or (
+                            isinstance(call.func, ast.Attribute)
+                            and call.func.attr == "solve"
+                        )
+                    )
+                ):
+                    continue
+                self._emit(
+                    "RPR005",
+                    stmt,
+                    f"registry alias `{node.name}` must return "
+                    "`solve(...)` directly; route new behaviour through "
+                    "repro.solve / the AlgorithmSpec registry instead",
+                )
+                return
+            self._emit(
+                "RPR005",
+                stmt,
+                f"registry alias `{node.name}` has non-trivial body "
+                f"statement ({type(stmt).__name__}); it must stay a thin "
+                "alias of repro.solve (docstring + solve import + return)",
+            )
+            return
+        if returns != 1:
+            self._emit(
+                "RPR005",
+                node,
+                f"registry alias `{node.name}` must contain exactly one "
+                f"`return solve(...)` (found {returns})",
+            )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str, filename: str = "<string>", *, module: str | None = None
+) -> list[Finding]:
+    """Lint one source string; ``module`` overrides the inferred path."""
+    disabled, override = _parse_pragmas(source)
+    mod = _module_path(filename, module or override)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                tool="lint",
+                rule="RPR000",
+                severity="error",
+                message=f"syntax error: {exc.msg}",
+                path=filename,
+                line=exc.lineno,
+                column=exc.offset,
+            )
+        ]
+    checker = _Checker(mod, filename, disabled)
+    checker.visit(tree)
+    return checker.findings
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one ``.py`` file."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def lint_paths(paths) -> list[Finding]:
+    """Lint files and directories (recursively), in sorted order."""
+    findings: list[Finding] = []
+    for raw in paths:
+        p = Path(raw)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            findings.extend(lint_file(f))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="repo-specific correctness lint (rules RPR001-RPR005)",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.summary}  [{rule.scope}]")
+        return 0
+
+    findings = lint_paths(args.paths)
+    if args.fmt == "json":
+        print(findings_to_json(findings))
+    elif findings:
+        print(render_findings(findings))
+        print(f"\nrepro-lint: {len(findings)} finding(s)")
+    else:
+        print("repro-lint: clean")
+    return exit_code(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,448 @@
+"""Runtime sanitizers: machine-checked invariants for the PeeK pipeline.
+
+PeeK's correctness story rests on invariants that are cheap to *check* but
+easy to silently break while refactoring: CSR structural integrity, the
+faithfulness of the compaction views, the simplicity/ordering/re-summation
+contract of returned paths, the prune bound's certificate over the result,
+and the epoch discipline of the shared SSSP workspaces.  This module turns
+each into an explicit check that raises :class:`~repro.errors.SanitizerError`
+carrying a structured :class:`~repro.analysis.findings.Finding` naming the
+offending vertex/edge/path.
+
+Enable per call with ``repro.solve(..., sanitize=True)`` or process-wide
+with ``RPR_SANITIZE=1``.  The checks only *read* — a sanitized run returns
+bitwise-identical results to an unsanitized one (asserted by the slow test
+in ``tests/analysis/test_overhead.py``, which also bounds the overhead at
+under 2× the untraced runtime on the medium suite).
+
+Check ids: ``SAN-CSR`` (CSR structure), ``SAN-VIEW`` (compaction views),
+``SAN-PATH`` (result paths), ``SAN-PRUNE`` (PeeK prune certificate),
+``SAN-WS`` (workspace epoch integrity).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.analysis.findings import Finding
+from repro.errors import SanitizerError
+from repro.paths import COST_REL_TOL, costs_close
+
+__all__ = [
+    "sanitize_enabled_from_env",
+    "check_graph",
+    "check_csr",
+    "check_reverse_roundtrip",
+    "check_status_view",
+    "check_edge_swap_view",
+    "check_regenerated",
+    "check_result_paths",
+    "check_prune_certificate",
+    "check_workspace",
+    "run_sanitized",
+]
+
+
+def sanitize_enabled_from_env() -> bool:
+    """True when ``RPR_SANITIZE`` requests process-wide sanitizing."""
+    return os.environ.get("RPR_SANITIZE", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+    )
+
+
+def _fail(rule: str, message: str, **context) -> None:
+    raise SanitizerError(
+        f"{rule}: {message}",
+        finding=Finding(
+            tool="sanitize",
+            rule=rule,
+            severity="error",
+            message=message,
+            context=context,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# structural checks
+# ----------------------------------------------------------------------
+def check_csr(graph, *, name: str = "graph") -> None:
+    """CSR structural integrity: monotone indptr, in-range targets, weights."""
+    indptr = np.asarray(graph.indptr)
+    indices = np.asarray(graph.indices)
+    weights = np.asarray(graph.weights)
+    n = int(indptr.size - 1)
+    if indptr.size < 1 or int(indptr[0]) != 0:
+        _fail("SAN-CSR", f"{name}: indptr[0] is {int(indptr[0])}, expected 0")
+    deltas = np.diff(indptr)
+    bad = np.flatnonzero(deltas < 0)
+    if bad.size:
+        v = int(bad[0])
+        _fail(
+            "SAN-CSR",
+            f"{name}: indptr decreases at vertex {v} "
+            f"({int(indptr[v])} -> {int(indptr[v + 1])})",
+            vertex=v,
+        )
+    if int(indptr[-1]) != indices.size:
+        _fail(
+            "SAN-CSR",
+            f"{name}: indptr[-1]={int(indptr[-1])} but {indices.size} edges stored",
+        )
+    if indices.size:
+        out = np.flatnonzero((indices < 0) | (indices >= n))
+        if out.size:
+            e = int(out[0])
+            _fail(
+                "SAN-CSR",
+                f"{name}: edge {e} targets vertex {int(indices[e])}, "
+                f"outside [0, {n})",
+                edge=e,
+                target=int(indices[e]),
+            )
+        nan = np.flatnonzero(np.isnan(weights))
+        if nan.size:
+            e = int(nan[0])
+            _fail("SAN-CSR", f"{name}: edge {e} has NaN weight", edge=e)
+        nonpos = np.flatnonzero(~np.isfinite(weights) | (weights <= 0.0))
+        if nonpos.size:
+            e = int(nonpos[0])
+            _fail(
+                "SAN-CSR",
+                f"{name}: edge {e} has non-finite or non-positive weight "
+                f"{float(weights[e])}",
+                edge=e,
+                weight=float(weights[e]),
+            )
+
+
+def check_reverse_roundtrip(graph, *, name: str = "graph") -> None:
+    """``reverse()`` preserves the edge multiset and round-trips."""
+    rev = graph.reverse()
+    if rev.num_edges != graph.num_edges:
+        _fail(
+            "SAN-CSR",
+            f"{name}: reverse() has {rev.num_edges} edges, original has "
+            f"{graph.num_edges}",
+        )
+    n = graph.num_vertices
+    in_deg = np.bincount(graph.indices, minlength=n)
+    if not np.array_equal(in_deg, rev.out_degrees()):
+        v = int(np.flatnonzero(in_deg != rev.out_degrees())[0])
+        _fail(
+            "SAN-CSR",
+            f"{name}: vertex {v} has in-degree {int(in_deg[v])} but "
+            f"reverse out-degree {int(rev.out_degrees()[v])}",
+            vertex=v,
+        )
+    if graph.num_edges and not costs_close(
+        float(graph.weights.sum()), float(rev.weights.sum())
+    ):
+        _fail("SAN-CSR", f"{name}: reverse() changed the total edge weight")
+    back = rev.reverse()
+    if back is not graph and not back.structurally_equal(graph):
+        _fail("SAN-CSR", f"{name}: reverse().reverse() is not the original graph")
+
+
+def check_status_view(view) -> None:
+    """Status-array view: mask shape and endpoint-liveness consistency."""
+    base = view.base
+    check_csr(base, name="StatusArrayView.base")
+    m = base.num_edges
+    if view.edge_mask.size != m:
+        _fail(
+            "SAN-VIEW",
+            f"StatusArrayView: edge_mask has {view.edge_mask.size} entries "
+            f"for {m} edges",
+        )
+    if view.keep_vertices.size != base.num_vertices:
+        _fail(
+            "SAN-VIEW",
+            f"StatusArrayView: keep_vertices has {view.keep_vertices.size} "
+            f"entries for {base.num_vertices} vertices",
+        )
+    # a live edge must connect two kept vertices
+    live = np.flatnonzero(view.edge_mask)
+    if live.size:
+        src = base.edge_sources()[live]
+        dst = base.indices[live]
+        bad = np.flatnonzero(
+            ~view.keep_vertices[src] | ~view.keep_vertices[dst]
+        )
+        if bad.size:
+            e = int(live[bad[0]])
+            _fail(
+                "SAN-VIEW",
+                f"StatusArrayView: edge {e} "
+                f"({int(base.edge_sources()[e])}->{int(base.indices[e])}) is "
+                "live but one endpoint is pruned",
+                edge=e,
+            )
+
+
+def check_edge_swap_view(view) -> None:
+    """Edge-swap view: segment ends in range, live slice structurally valid."""
+    base = view.base
+    indptr = base.indptr
+    n = base.num_vertices
+    ends = view._ends
+    bad = np.flatnonzero((ends < indptr[:-1]) | (ends > indptr[1:]))
+    if bad.size:
+        v = int(bad[0])
+        _fail(
+            "SAN-VIEW",
+            f"EdgeSwapView: vertex {v} live segment end {int(ends[v])} "
+            f"outside its CSR segment [{int(indptr[v])}, {int(indptr[v + 1])}]",
+            vertex=v,
+        )
+    degs = np.diff(indptr)
+    live = np.arange(base.num_edges, dtype=np.int64) < np.repeat(ends, degs)
+    if int(live.sum()) != view.num_edges:
+        _fail(
+            "SAN-VIEW",
+            f"EdgeSwapView: num_edges={view.num_edges} but live segments "
+            f"hold {int(live.sum())} edges",
+        )
+    live_pos = np.flatnonzero(live)
+    if live_pos.size:
+        tgt = view.indices[live_pos]
+        out = np.flatnonzero((tgt < 0) | (tgt >= n))
+        if out.size:
+            e = int(live_pos[out[0]])
+            _fail(
+                "SAN-VIEW",
+                f"EdgeSwapView: live edge at position {e} targets vertex "
+                f"{int(view.indices[e])}, outside [0, {n}) — dangling index",
+                edge=e,
+                target=int(view.indices[e]),
+            )
+        w = view.weights[live_pos]
+        badw = np.flatnonzero(~np.isfinite(w) | (w <= 0.0))
+        if badw.size:
+            e = int(live_pos[badw[0]])
+            _fail(
+                "SAN-VIEW",
+                f"EdgeSwapView: live edge at position {e} has invalid "
+                f"weight {float(view.weights[e])}",
+                edge=e,
+            )
+
+
+def check_regenerated(regen) -> None:
+    """Regenerated graph: fresh CSR valid, id maps mutually inverse."""
+    check_csr(regen.graph, name="RegeneratedGraph.graph")
+    n_new = regen.graph.num_vertices
+    if regen.old_id.size != n_new:
+        _fail(
+            "SAN-VIEW",
+            f"RegeneratedGraph: old_id has {regen.old_id.size} entries for "
+            f"{n_new} vertices",
+        )
+    if not np.array_equal(
+        regen.new_id[regen.old_id], np.arange(n_new, dtype=np.int64)
+    ):
+        _fail("SAN-VIEW", "RegeneratedGraph: new_id/old_id maps are not inverse")
+
+
+def check_graph(graph, *, name: str = "graph") -> None:
+    """Dispatch the structural check matching ``graph``'s concrete type."""
+    from repro.core.compaction import (
+        EdgeSwapView,
+        RegeneratedGraph,
+        StatusArrayView,
+    )
+    from repro.graph.csr import CSRGraph
+
+    if isinstance(graph, CSRGraph):
+        check_csr(graph, name=name)
+        check_reverse_roundtrip(graph, name=name)
+    elif isinstance(graph, StatusArrayView):
+        check_status_view(graph)
+    elif isinstance(graph, EdgeSwapView):
+        check_edge_swap_view(graph)
+    elif isinstance(graph, RegeneratedGraph):
+        check_regenerated(graph)
+    else:
+        # adjacency-protocol duck types (tests' stubs): best-effort only
+        if hasattr(graph, "indptr"):
+            check_csr(graph, name=name)
+
+
+# ----------------------------------------------------------------------
+# result checks
+# ----------------------------------------------------------------------
+def check_result_paths(
+    graph, result, source: int, target: int, *, rel_tol: float = COST_REL_TOL
+) -> None:
+    """Returned paths are simple, correctly summed, sorted, and distinct."""
+    prev = float("-inf")
+    seen: set[tuple[int, ...]] = set()
+    for i, path in enumerate(result.paths):
+        verts = path.vertices
+        if verts[0] != source or verts[-1] != target:
+            _fail(
+                "SAN-PATH",
+                f"path #{i} runs {verts[0]}->{verts[-1]}, query was "
+                f"{source}->{target}",
+                path=i,
+            )
+        marked: set[int] = set()
+        for v in verts:
+            if v in marked:
+                _fail(
+                    "SAN-PATH",
+                    f"path #{i} is not simple: vertex {v} repeats",
+                    path=i,
+                    vertex=int(v),
+                )
+            marked.add(v)
+        total = 0.0
+        for u, v in zip(verts[:-1], verts[1:]):
+            w = graph.edge_weight(u, v)
+            if w is None:
+                _fail(
+                    "SAN-PATH",
+                    f"path #{i} uses edge {u}->{v}, absent from the graph",
+                    path=i,
+                    edge=(int(u), int(v)),
+                )
+            total += w
+        if not costs_close(total, path.distance, rel_tol=rel_tol):
+            _fail(
+                "SAN-PATH",
+                f"path #{i} claims distance {path.distance!r} but its edges "
+                f"sum to {total!r}",
+                path=i,
+            )
+        if path.distance < prev and not costs_close(path.distance, prev, rel_tol=rel_tol):
+            _fail(
+                "SAN-PATH",
+                f"path #{i} (distance {path.distance!r}) breaks the "
+                "non-decreasing order",
+                path=i,
+            )
+        if verts in seen:
+            _fail("SAN-PATH", f"path #{i} duplicates an earlier path", path=i)
+        seen.add(verts)
+        prev = max(prev, path.distance)
+    if len(result.paths) > result.k_requested:
+        _fail(
+            "SAN-PATH",
+            f"{len(result.paths)} paths returned for k={result.k_requested}",
+        )
+
+
+def check_prune_certificate(result, *, rel_tol: float = COST_REL_TOL) -> None:
+    """PeeK-specific: every returned path survives the prune bound.
+
+    The K-upper-bound ``b`` dominates the true K-th shortest distance
+    (paper Lemma 4.2 / Theorem 4.3), so every returned path must cost at
+    most ``b`` and every vertex on it must have ``spSum[v] <= b`` — i.e.
+    none of the returned paths touches anything the prune was allowed to
+    delete.  This certifies the compaction stage changed no answer.
+    """
+    pr = getattr(result, "prune", None)
+    if pr is None or not np.isfinite(pr.bound):
+        return
+    slack = rel_tol * max(1.0, abs(pr.bound))
+    for i, path in enumerate(result.paths):
+        if path.distance > pr.bound + slack:
+            _fail(
+                "SAN-PRUNE",
+                f"path #{i} costs {path.distance!r}, above the prune bound "
+                f"{pr.bound!r} — the prune certificate is violated",
+                path=i,
+                bound=float(pr.bound),
+            )
+        verts = np.asarray(path.vertices, dtype=np.int64)
+        sp = pr.sp_sum[verts]
+        bad = np.flatnonzero(sp > pr.bound + slack)
+        if bad.size:
+            v = int(verts[bad[0]])
+            _fail(
+                "SAN-PRUNE",
+                f"path #{i} visits vertex {v} with spSum {float(pr.sp_sum[v])!r} "
+                f"above the prune bound {pr.bound!r} — that vertex should "
+                "have been prunable",
+                path=i,
+                vertex=v,
+                bound=float(pr.bound),
+            )
+
+
+def check_workspace(ws) -> None:
+    """Workspace epoch integrity: no future stamps, consistent ban mask."""
+    ep = ws.epoch
+    dstamp = np.asarray(ws._dstamp, dtype=np.int64)
+    sstamp = np.asarray(ws._sstamp, dtype=np.int64)
+    bad = np.flatnonzero(dstamp > ep)
+    if bad.size:
+        v = int(bad[0])
+        _fail(
+            "SAN-WS",
+            f"workspace vertex {v} carries distance stamp {int(dstamp[v])} "
+            f"beyond the current epoch {ep} — stale-epoch discipline broken",
+            vertex=v,
+            epoch=ep,
+        )
+    bad = np.flatnonzero(sstamp > ep)
+    if bad.size:
+        v = int(bad[0])
+        _fail(
+            "SAN-WS",
+            f"workspace vertex {v} carries settled stamp {int(sstamp[v])} "
+            f"beyond the current epoch {ep}",
+            vertex=v,
+            epoch=ep,
+        )
+    mask_set = set(np.flatnonzero(ws.ban).tolist())
+    if mask_set != ws._ban_current:
+        delta = mask_set.symmetric_difference(ws._ban_current)
+        v = int(next(iter(delta)))
+        _fail(
+            "SAN-WS",
+            f"workspace incremental ban mask out of sync at vertex {v} "
+            f"(mask says {v in mask_set}, tracking set says "
+            f"{v in ws._ban_current})",
+            vertex=v,
+        )
+
+
+# ----------------------------------------------------------------------
+# the sanitized solve pipeline
+# ----------------------------------------------------------------------
+def run_sanitized(graph, source: int, target: int, k: int, algorithm: str, opts):
+    """Run one solve under the full sanitizer battery.
+
+    Called by :func:`repro.solve` when sanitizing is requested.  Checks the
+    input graph structurally, runs the untouched solver, then audits the
+    result paths, PeeK's prune certificate and compaction artefacts, and
+    any SSSP workspace the solver used.  The result object is returned
+    unmodified.
+    """
+    from repro.ksp.registry import make_algorithm
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
+    with tracer.span("sanitize.pre", algorithm=algorithm):
+        check_graph(graph, name="input graph")
+
+    solver = make_algorithm(algorithm, graph, source, target, **opts)
+    result = solver.run(k)
+
+    with tracer.span("sanitize.post", algorithm=algorithm):
+        check_result_paths(graph, result, source, target)
+        check_prune_certificate(result)
+        comp = getattr(solver, "compaction_result", None)
+        if comp is not None:
+            check_graph(comp.compacted, name="compacted graph")
+        inner = getattr(solver, "_inner", None) or solver
+        ws = getattr(inner, "_workspace", None)
+        if ws is not None:
+            check_workspace(ws)
+    return result

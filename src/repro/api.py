@@ -36,6 +36,7 @@ def solve(
     k: int,
     *,
     algorithm: str = "PeeK",
+    sanitize: bool | None = None,
     **opts,
 ) -> KSPResult:
     """Compute the K shortest simple ``source``→``target`` paths.
@@ -53,6 +54,13 @@ def solve(
     algorithm:
         Registry name — one of :func:`algorithms`.  Default is the paper's
         contribution, ``"PeeK"``.
+    sanitize:
+        Run the full runtime-sanitizer battery around the solve (structural
+        graph checks before, path/prune/workspace audits after; see
+        :mod:`repro.analysis.sanitize` and ``docs/correctness_tooling.md``).
+        ``None`` (the default) defers to the ``RPR_SANITIZE`` environment
+        variable.  Results are bitwise-identical either way; a violated
+        invariant raises :class:`~repro.errors.SanitizerError`.
     **opts:
         Algorithm options, validated against its
         :class:`~repro.ksp.registry.AlgorithmSpec`: ``deadline`` /
@@ -74,8 +82,16 @@ def solve(
     ``prune`` / ``compact`` / ``ksp``) and per-kernel counters are
     captured — see ``docs/observability.md``.
     """
+    if sanitize is None:
+        from repro.analysis.sanitize import sanitize_enabled_from_env
+
+        sanitize = sanitize_enabled_from_env()
     tracer = get_tracer()
     with tracer.span("solve", algorithm=algorithm, k=k):
+        if sanitize:
+            from repro.analysis.sanitize import run_sanitized
+
+            return run_sanitized(graph, source, target, k, algorithm, opts)
         solver = make_algorithm(algorithm, graph, source, target, **opts)
         return solver.run(k)
 

@@ -107,12 +107,26 @@ class SimComm:
     minus the process boundary.
     """
 
-    def __init__(self, num_ranks: int, model: CommModel | None = None) -> None:
+    def __init__(
+        self,
+        num_ranks: int,
+        model: CommModel | None = None,
+        *,
+        race_detector=None,
+    ) -> None:
         if num_ranks < 1:
             raise CommError("need at least one rank")
         self.num_ranks = num_ranks
         self.model = model or CommModel()
         self.report = DistReport(num_ranks=num_ranks)
+        # optional repro.analysis.race.RaceDetector (duck-typed): every
+        # collective is a barrier; ranks declare footprints in between
+        if race_detector is not None and race_detector.num_tasks != num_ranks:
+            raise CommError(
+                f"race detector tracks {race_detector.num_tasks} tasks "
+                f"but the communicator has {num_ranks} ranks"
+            )
+        self.race_detector = race_detector
 
     # ------------------------------------------------------------------
     # compute + superstep accounting
@@ -134,8 +148,25 @@ class SimComm:
         self.report.compute_units += max(work) / inner if work else 0.0
         self.report.serial_work += float(sum(work))
 
+    def record_reads(self, rank: int, resources) -> None:
+        """Declare resources ``rank`` reads in the current superstep."""
+        if self.race_detector is not None:
+            if not 0 <= rank < self.num_ranks:
+                raise CommError(f"bad rank {rank}")
+            self.race_detector.record_reads(rank, resources)
+
+    def record_writes(self, rank: int, resources) -> None:
+        """Declare resources ``rank`` writes in the current superstep."""
+        if self.race_detector is not None:
+            if not 0 <= rank < self.num_ranks:
+                raise CommError(f"bad rank {rank}")
+            self.race_detector.record_writes(rank, resources)
+
     def _charge(self, bytes_per_rank: list[int], msgs: int) -> None:
         self.report.supersteps += 1
+        if self.race_detector is not None:
+            # every collective synchronises all ranks — a happens-before join
+            self.race_detector.barrier()
         tracer = get_tracer()
         if tracer.enabled:
             tracer.add("comm.supersteps")

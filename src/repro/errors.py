@@ -42,3 +42,16 @@ class PartitionError(ReproError):
 
 class CommError(ReproError):
     """Misuse of the simulated MPI communicator (bad rank, tag reuse...)."""
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer check failed (see :mod:`repro.analysis.sanitize`).
+
+    Raised only when sanitizers are enabled (``repro.solve(...,
+    sanitize=True)`` or ``RPR_SANITIZE=1``); carries the structured
+    :class:`~repro.analysis.findings.Finding` on ``.finding``.
+    """
+
+    def __init__(self, message: str, finding=None) -> None:
+        super().__init__(message)
+        self.finding = finding

@@ -86,20 +86,37 @@ class CSRGraph:
                 f"indptr[-1] ({int(self.indptr[-1])}) must equal the edge count "
                 f"({self.indices.size})"
             )
-        if np.any(np.diff(self.indptr) < 0):
-            raise GraphFormatError("indptr must be non-decreasing")
+        neg = np.flatnonzero(np.diff(self.indptr) < 0)
+        if neg.size:
+            v = int(neg[0])
+            raise GraphFormatError(
+                f"indptr must be non-decreasing: it drops from "
+                f"{int(self.indptr[v])} to {int(self.indptr[v + 1])} at "
+                f"vertex {v}"
+            )
         n = self.num_vertices
         if self.indices.size and (
             int(self.indices.min()) < 0 or int(self.indices.max()) >= n
         ):
             raise GraphFormatError("edge target out of range [0, n)")
-        if self.weights.size and (
-            not np.all(np.isfinite(self.weights)) or float(self.weights.min()) <= 0.0
-        ):
-            raise InvalidWeightError(
-                "all edge weights must be finite and strictly positive "
-                "(paper Definition 1)"
-            )
+        if self.weights.size:
+            # NaN gets its own diagnosis: it is the classic silent-corruption
+            # value (it fails *every* comparison, so Dijkstra never relaxes
+            # through it) and deserves a sharper message than "not finite".
+            nan = np.flatnonzero(np.isnan(self.weights))
+            if nan.size:
+                raise InvalidWeightError(
+                    f"edge {int(nan[0])} has NaN weight; weights must be "
+                    "finite and strictly positive (paper Definition 1)"
+                )
+            if (
+                not np.all(np.isfinite(self.weights))
+                or float(self.weights.min()) <= 0.0
+            ):
+                raise InvalidWeightError(
+                    "all edge weights must be finite and strictly positive "
+                    "(paper Definition 1)"
+                )
 
     @property
     def num_vertices(self) -> int:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "JobKind",
+    "Footprint",
     "Phase",
     "TaskPhase",
     "Workload",
@@ -47,12 +48,33 @@ class JobKind(enum.Enum):
 
 
 @dataclass(frozen=True)
+class Footprint:
+    """Declared memory accesses of one concurrent task within a phase.
+
+    ``reads``/``writes`` are tuples of hashable resource keys — the
+    convention is ``(array_name, index)`` pairs like ``("dist", 5)``.
+    Phases that declare one footprint per task can be audited for
+    write-write and read-write conflicts by
+    :func:`repro.analysis.race.check_workload`; phases that declare none
+    are simply trusted, as before.
+    """
+
+    reads: tuple = ()
+    writes: tuple = ()
+
+
+@dataclass(frozen=True)
 class Phase:
-    """One barrier-delimited step of ``work`` abstract units."""
+    """One barrier-delimited step of ``work`` abstract units.
+
+    ``footprints`` (optional) declares per-task read/write sets — one
+    :class:`Footprint` per concurrent task — for race auditing.
+    """
 
     kind: JobKind
     work: int
     label: str = ""
+    footprints: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -61,12 +83,14 @@ class TaskPhase:
 
     For KSP iterations, each task is one deviation's suffix search, and the
     two-level strategy may split a task further across an inner thread
-    group (the scheduler handles that).
+    group (the scheduler handles that).  ``footprints`` is the same
+    optional per-task access declaration as on :class:`Phase`.
     """
 
     tasks: tuple[int, ...]
     label: str = ""
     kind: JobKind = JobKind.TASK
+    footprints: tuple = ()
 
     @property
     def work(self) -> int:

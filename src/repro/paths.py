@@ -19,11 +19,32 @@ __all__ = [
     "reconstruct_reverse_path",
     "is_simple",
     "path_distance",
+    "costs_close",
     "INF",
+    "COST_REL_TOL",
 ]
 
 #: Distance value used for unreachable vertices throughout the library.
 INF = float("inf")
+
+#: Relative tolerance for path-cost comparisons across the library.  A path
+#: cost is a sum of up to n float64 edge weights, so two independent
+#: computations of the same cost can differ by a few ULPs per addition;
+#: 1e-9 is ~1e6 times that slack on unit-scale weights while still far
+#: below any genuine cost difference the generators can produce.
+COST_REL_TOL = 1e-9
+
+
+def costs_close(a: float, b: float, *, rel_tol: float = COST_REL_TOL) -> bool:
+    """True when two path costs are equal up to accumulated rounding.
+
+    This is the library's one sanctioned way to compare float costs for
+    equality (lint rule RPR004 flags bare ``==``/``!=``).  Two infinities
+    of the same sign compare equal; NaN compares unequal to everything.
+    """
+    if a == b:  # covers matching infinities and exact hits
+        return True
+    return abs(a - b) <= rel_tol * max(1.0, abs(a), abs(b))
 
 
 @dataclass(frozen=True, order=True)

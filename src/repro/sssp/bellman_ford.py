@@ -37,6 +37,10 @@ def bellman_ford(graph: CSRGraph, source: int) -> SSSPResult:
     parent[source] = source
     stats = SSSPStats()
 
+    # Group-boundary scratch, hoisted out of the sweep loop (RPR003):
+    # first[0] is always True; only first[1:] is rewritten per round.
+    first = np.ones(dst.size, dtype=bool)
+
     for _ in range(max(n - 1, 1)):
         cand = dist[src] + w
         stats.edges_relaxed += int(w.size)
@@ -45,7 +49,6 @@ def bellman_ford(graph: CSRGraph, source: int) -> SSSPResult:
         # per-target minimum via lexsort, same reduction as Δ-stepping
         order = np.lexsort((cand, dst))
         d_sorted = dst[order]
-        first = np.ones(d_sorted.size, dtype=bool)
         first[1:] = d_sorted[1:] != d_sorted[:-1]
         best_t = d_sorted[first]
         best_d = cand[order][first]

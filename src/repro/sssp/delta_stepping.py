@@ -50,8 +50,8 @@ def _expand_frontier(
     """
     starts = begins[frontier]
     counts = ends[frontier] - starts
-    total = int(counts.sum())
-    if total == 0:
+    gathered = int(counts.sum())  # edge count, not a path cost (RPR004)
+    if gathered == 0:
         return (
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.int64),
@@ -60,7 +60,7 @@ def _expand_frontier(
     block_starts = np.zeros(frontier.size, dtype=np.int64)
     np.cumsum(counts[:-1], out=block_starts[1:])
     edge_idx = (
-        np.arange(total, dtype=np.int64)
+        np.arange(gathered, dtype=np.int64)
         - np.repeat(block_starts, counts)
         + np.repeat(starts, counts)
     )
@@ -102,6 +102,7 @@ def delta_stepping(
     *,
     delta: float | None = None,
     vertex_mask: np.ndarray | None = None,
+    footprint_recorder=None,
 ) -> SSSPResult:
     """Δ-stepping SSSP from ``source``.
 
@@ -113,6 +114,14 @@ def delta_stepping(
         Optional ``bool[n]`` of *usable* vertices; masked-out vertices are
         treated as deleted (this is how the status-array compaction strategy
         runs its downstream SSSP without rebuilding the CSR).
+    footprint_recorder:
+        Optional :class:`repro.analysis.race.DeltaSteppingFootprints` (or
+        any object with its ``record_step`` signature).  When given, every
+        bucket step's real read/write footprint — frontier sources and
+        relaxation targets read, improved vertices written — is recorded
+        as the gather → barrier → commit phase decomposition, which the
+        race detector then audits.  Diagnostics only; adds Python-loop
+        overhead per recorded step and changes no result.
 
     Notes
     -----
@@ -142,6 +151,10 @@ def delta_stepping(
     # needs[v]: v's distance improved since it was last relaxed.
     needs = np.zeros(n, dtype=bool)
     needs[source] = True
+    # in_r[v]: v was removed from the current bucket.  Allocated once and
+    # reset *sparsely* at the end of each bucket — an O(n) allocation per
+    # bucket iteration is exactly the hot-path waste RPR003 polices.
+    in_r = np.zeros(n, dtype=bool)
 
     def usable(targets: np.ndarray) -> np.ndarray:
         if vertex_mask is None:
@@ -156,7 +169,6 @@ def delta_stepping(
         i = int(bucket_of_pending.min())
         lo, hi = i * delta, (i + 1) * delta
 
-        in_r = np.zeros(n, dtype=bool)  # every vertex removed from bucket i
         frontier = pending[bucket_of_pending == i]
         # ---- light-edge inner loop: may reinsert into bucket i ----
         while frontier.size:
@@ -180,6 +192,10 @@ def delta_stepping(
                 improved = _relax_batch(dist, parent, targets, cands, edge_src)
                 needs[improved] = True
                 stats.edges_relaxed += int(edge_idx.size)
+                if footprint_recorder is not None:
+                    footprint_recorder.record_step(
+                        f"light-{i}", edge_src, targets, improved
+                    )
             stats.phases += 1
             stats.phase_work.append(int(edge_idx.size))
             pending_now = np.flatnonzero(needs)
@@ -206,8 +222,13 @@ def delta_stepping(
             improved = _relax_batch(dist, parent, targets, cands, edge_src)
             needs[improved] = True
             stats.edges_relaxed += int(edge_idx.size)
+            if footprint_recorder is not None:
+                footprint_recorder.record_step(
+                    f"heavy-{i}", edge_src, targets, improved
+                )
         stats.phases += 1
         stats.phase_work.append(int(edge_idx.size))
+        in_r[settled_now] = False  # sparse reset for the next bucket
 
     tracer = get_tracer()
     if tracer.enabled:

@@ -13,6 +13,7 @@ test suite uses the exhaustive mode as an extra oracle next to networkx.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.ksp.base import KSPResult
@@ -80,7 +81,7 @@ def verify_ksp_result(
                 total = float("nan")
                 break
             total += w
-        if total == total and abs(total - path.distance) > rel_tol * max(
+        if not math.isnan(total) and abs(total - path.distance) > rel_tol * max(
             1.0, abs(total)
         ):
             report.fail(

@@ -1,0 +1,10 @@
+"""RPR001 regression fixture: every way of mutating CSR backing arrays."""
+
+import numpy as np
+
+
+def zero_out_first_edge(graph):
+    graph.weights[0] = 0.5  # subscript assignment
+    graph.indices.fill(0)  # mutating method call
+    np.add(graph.weights, 1.0, out=graph.weights)  # out= kwarg
+    graph.indptr[1:] += 1  # augmented subscript assignment

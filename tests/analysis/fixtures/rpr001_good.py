@@ -1,0 +1,9 @@
+"""RPR001 good fixture: copy first, mutate the copy."""
+
+import numpy as np
+
+
+def reweighted_copy(graph):
+    weights = graph.weights.copy()
+    weights[0] = 0.5
+    return np.maximum(weights, 1e-9)

@@ -1,0 +1,10 @@
+"""RPR002 regression fixture: a manually entered, manually exited span."""
+
+
+def run(tracer):
+    span = tracer.span("solve")
+    span.__enter__()
+    try:
+        return 1
+    finally:
+        span.__exit__(None, None, None)

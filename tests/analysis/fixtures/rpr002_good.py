@@ -1,0 +1,6 @@
+"""RPR002 good fixture: the span lives in a `with` statement."""
+
+
+def run(tracer):
+    with tracer.span("solve"):
+        return 1

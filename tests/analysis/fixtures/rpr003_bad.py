@@ -1,0 +1,12 @@
+"""RPR003 regression fixture: per-spur O(n) allocation in the hot loop."""
+# repro-lint: module=repro/ksp/fixture.py
+
+import numpy as np
+
+
+def spur_searches(n, spurs):
+    out = []
+    for _ in spurs:
+        banned = np.zeros(n, dtype=bool)
+        out.append(banned)
+    return out

@@ -1,0 +1,7 @@
+"""RPR004 regression fixture: exact equality on float path costs."""
+
+
+def already_known(total_dist, best_dist, pool):
+    if total_dist == best_dist:
+        return True
+    return any(candidate.distance != best_dist for candidate in pool)

@@ -1,0 +1,9 @@
+"""RPR004 good fixture: the shared tolerance helper."""
+
+from repro.paths import costs_close
+
+
+def already_known(total_dist, best_dist, pool):
+    if costs_close(total_dist, best_dist):
+        return True
+    return any(not costs_close(candidate.distance, best_dist) for candidate in pool)

@@ -1,0 +1,9 @@
+"""RPR005 good fixture: the sanctioned thin-alias shape."""
+# repro-lint: module=repro/ksp/fixture.py
+
+
+def yen_ksp(graph, source, target, k, **kwargs):
+    """Thin alias for :func:`repro.solve` with ``algorithm="Yen"``."""
+    from repro.api import solve
+
+    return solve(graph, source, target, k, algorithm="Yen", **kwargs)

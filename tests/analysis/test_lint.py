@@ -1,0 +1,133 @@
+"""repro-lint: rule catalogue, fixture corpus, pragmas, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, lint_file, lint_paths, lint_source, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+RULE_IDS = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+
+
+def test_rule_catalogue_is_complete():
+    assert tuple(sorted(RULES)) == RULE_IDS
+    for rule in RULES.values():
+        assert rule.summary and rule.scope
+
+
+@pytest.mark.parametrize("rule", RULE_IDS)
+def test_bad_fixture_fires_its_rule(rule):
+    findings = lint_file(FIXTURES / f"{rule.lower()}_bad.py")
+    assert findings, f"{rule} bad fixture produced no findings"
+    assert {f.rule for f in findings} == {rule}
+    for f in findings:
+        assert f.tool == "lint"
+        assert f.severity == "error"
+        assert f.line is not None
+
+
+@pytest.mark.parametrize("rule", RULE_IDS)
+def test_good_fixture_is_silent(rule):
+    assert lint_file(FIXTURES / f"{rule.lower()}_good.py") == []
+
+
+def test_rpr001_counts_every_mutation_shape():
+    # subscript assign, .fill(), out=, augmented subscript — all four lines
+    findings = lint_file(FIXTURES / "rpr001_bad.py")
+    assert len(findings) == 4
+
+
+def test_source_tree_is_clean():
+    """The acceptance gate: zero findings over the shipped src/ tree."""
+    assert lint_paths([SRC]) == []
+
+
+def test_disable_pragma_suppresses_one_line():
+    src = (
+        "def f(g):\n"
+        "    g.weights[0] = 1.0  # repro-lint: disable=RPR001\n"
+        "    g.weights[1] = 2.0\n"
+    )
+    findings = lint_source(src, "fixture.py")
+    assert len(findings) == 1
+    assert findings[0].line == 3
+
+
+def test_module_pragma_enables_path_scoped_rules():
+    src = (
+        "# repro-lint: module=repro/sssp/fixture.py\n"
+        "import numpy as np\n"
+        "def f(n):\n"
+        "    for _ in range(3):\n"
+        "        np.zeros(n)\n"
+    )
+    assert [f.rule for f in lint_source(src, "elsewhere.py")] == ["RPR003"]
+    # without the pragma the file is out of RPR003's scope
+    assert lint_source(src.replace("# repro-lint: module=repro/sssp/fixture.py\n", ""),
+                       "elsewhere.py") == []
+
+
+def test_module_path_inferred_from_filename():
+    src = "import numpy as np\ndef f(n):\n    for _ in range(3):\n        np.zeros(n)\n"
+    assert [f.rule for f in lint_source(src, "src/repro/sssp/foo.py")] == ["RPR003"]
+    assert lint_source(src, "src/repro/graph/foo.py") == []
+
+
+def test_workspace_module_exempt_from_rpr003():
+    src = "import numpy as np\ndef f(n):\n    for _ in range(3):\n        np.zeros(n)\n"
+    assert lint_source(src, "src/repro/sssp/workspace.py") == []
+
+
+def test_small_constant_allocation_allowed_in_loop():
+    src = "import numpy as np\ndef f():\n    for _ in range(3):\n        np.zeros(8)\n"
+    assert lint_source(src, "src/repro/ksp/foo.py") == []
+
+
+def test_rpr004_ignores_non_cost_identifiers():
+    src = "def f(count, size):\n    return count == size\n"
+    assert lint_source(src, "src/repro/ksp/foo.py") == []
+
+
+def test_rpr005_requires_a_return():
+    src = (
+        "# repro-lint: module=repro/ksp/fixture.py\n"
+        "def peek_ksp(g, s, t, k):\n"
+        "    from repro.api import solve\n"
+        "    solve(g, s, t, k)\n"
+    )
+    findings = lint_source(src, "fixture.py")
+    assert [f.rule for f in findings] == ["RPR005"]
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    findings = lint_file(bad)
+    assert len(findings) == 1
+    assert findings[0].rule == "RPR000"
+
+
+def test_cli_text_and_exit_codes(capsys):
+    assert main([str(FIXTURES / "rpr001_good.py")]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert main([str(FIXTURES / "rpr001_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out and "finding" in out
+
+
+def test_cli_json_format(capsys):
+    assert main(["--format", "json", str(FIXTURES / "rpr004_bad.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload and all(item["rule"] == "RPR004" for item in payload)
+    assert all(item["tool"] == "lint" for item in payload)
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules", "."]) == 0
+    out = capsys.readouterr().out
+    for rule in RULE_IDS:
+        assert rule in out

@@ -1,0 +1,44 @@
+"""Opt-in: sanitizer overhead stays under 2x on the medium suite.
+
+Set ``REPRO_RUN_SLOW=1`` to run (same gating as ``tests/test_medium_scale.py``).
+"""
+
+import os
+import time
+
+import pytest
+
+_opt_in = pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW"),
+    reason="set REPRO_RUN_SLOW=1 to run medium-scale smoke tests",
+)
+
+
+def slow(fn):
+    return pytest.mark.slow(_opt_in(fn))
+
+
+@slow
+def test_sanitized_medium_run_identical_and_under_2x():
+    import repro
+    from repro.graph.suite import random_st_pairs, suite_graph
+
+    g = suite_graph("GT", "medium")
+    (s, t), = random_st_pairs(g, 1, seed=5)
+
+    t0 = time.perf_counter()
+    plain = repro.solve(g, s, t, k=8)
+    plain_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    checked = repro.solve(g, s, t, k=8, sanitize=True)
+    checked_seconds = time.perf_counter() - t0
+
+    # bitwise-identical results: the sanitizer only reads
+    assert plain.distances == checked.distances
+    assert [p.vertices for p in plain.paths] == [p.vertices for p in checked.paths]
+
+    # the acceptance bound, with the solve itself dominating the budget
+    assert checked_seconds < 2.0 * plain_seconds, (
+        f"sanitized run took {checked_seconds:.2f}s vs {plain_seconds:.2f}s plain"
+    )

@@ -1,0 +1,170 @@
+"""Runtime sanitizer: clean runs stay identical, seeded bugs are caught."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.sanitize import (
+    check_csr,
+    check_edge_swap_view,
+    check_prune_certificate,
+    check_result_paths,
+    check_workspace,
+    sanitize_enabled_from_env,
+)
+from repro.core.compaction import EdgeSwapView, StatusArrayView
+from repro.errors import SanitizerError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_network
+from repro.paths import Path
+from repro.sssp.workspace import SSSPWorkspace
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_network(8, 8, seed=3)
+
+
+# ----------------------------------------------------------------------
+# clean runs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["PeeK", "Yen", "OptYen", "SB", "NC"])
+def test_sanitized_solve_is_bitwise_identical(grid, algorithm):
+    plain = repro.solve(grid, 0, 63, k=5, algorithm=algorithm)
+    checked = repro.solve(grid, 0, 63, k=5, algorithm=algorithm, sanitize=True)
+    assert [p.vertices for p in plain.paths] == [p.vertices for p in checked.paths]
+    assert plain.distances == checked.distances  # bitwise, not approximate
+
+
+def test_env_var_enables_sanitizer(monkeypatch):
+    monkeypatch.delenv("RPR_SANITIZE", raising=False)
+    assert not sanitize_enabled_from_env()
+    for off in ("0", "false", "off", ""):
+        monkeypatch.setenv("RPR_SANITIZE", off)
+        assert not sanitize_enabled_from_env()
+    monkeypatch.setenv("RPR_SANITIZE", "1")
+    assert sanitize_enabled_from_env()
+
+
+def test_sanitize_rejects_bad_input_graph(grid):
+    broken = CSRGraph(
+        np.array([0, 2, 1, 3]),  # indptr decreases at vertex 1
+        np.array([1, 2, 0]),
+        np.array([1.0, 1.0, 1.0]),
+        check=False,
+    )
+    with pytest.raises(SanitizerError, match="vertex 1"):
+        repro.solve(broken, 0, 2, k=1, algorithm="Yen", sanitize=True)
+
+
+# ----------------------------------------------------------------------
+# seeded structural bugs
+# ----------------------------------------------------------------------
+def test_corrupted_edge_swap_dangling_index(grid):
+    view = EdgeSwapView(grid, np.ones(grid.num_vertices, dtype=bool))
+    view.indices[0] = grid.num_vertices + 7  # dangling target
+    with pytest.raises(SanitizerError, match="dangling") as exc:
+        check_edge_swap_view(view)
+    # the message names the offending edge position and bogus target
+    assert "position 0" in str(exc.value)
+    assert str(grid.num_vertices + 7) in str(exc.value)
+    assert exc.value.finding.rule == "SAN-VIEW"
+
+
+def test_edge_swap_segment_end_out_of_range(grid):
+    view = EdgeSwapView(grid, np.ones(grid.num_vertices, dtype=bool))
+    view._ends = view._ends.copy()
+    view._ends[3] = int(grid.indptr[4]) + 1  # spills into vertex 4's segment
+    with pytest.raises(SanitizerError, match="vertex 3"):
+        check_edge_swap_view(view)
+
+
+def test_status_view_live_edge_to_pruned_vertex(grid):
+    keep = np.ones(grid.num_vertices, dtype=bool)
+    view = StatusArrayView(grid, keep)
+    view.keep_vertices = keep.copy()
+    view.keep_vertices[grid.indices[0]] = False  # prune the target, keep the edge
+    with pytest.raises(SanitizerError, match="pruned") as exc:
+        from repro.analysis.sanitize import check_status_view
+
+        check_status_view(view)
+    assert exc.value.finding.rule == "SAN-VIEW"
+
+
+def test_check_csr_names_bad_edge():
+    g = CSRGraph(
+        np.array([0, 1, 2]), np.array([1, 0]), np.array([1.0, 2.0]), check=False
+    )
+    g.indices[1] = 9
+    with pytest.raises(SanitizerError, match=r"edge 1 targets vertex 9"):
+        check_csr(g)
+
+
+# ----------------------------------------------------------------------
+# path / certificate bugs
+# ----------------------------------------------------------------------
+def test_non_simple_path_names_repeated_vertex(grid):
+    result = repro.solve(grid, 0, 63, k=2)
+    result.paths[0] = Path(
+        distance=result.paths[0].distance, vertices=(0, 1, 0, 1, 63)
+    )
+    with pytest.raises(SanitizerError, match="vertex 0 repeats") as exc:
+        check_result_paths(grid, result, 0, 63)
+    assert exc.value.finding.rule == "SAN-PATH"
+    assert exc.value.finding.context["vertex"] == 0
+
+
+def test_wrong_distance_caught(grid):
+    result = repro.solve(grid, 0, 63, k=2)
+    result.paths[1] = Path(
+        distance=result.paths[1].distance + 0.5, vertices=result.paths[1].vertices
+    )
+    with pytest.raises(SanitizerError, match="sum to"):
+        check_result_paths(grid, result, 0, 63)
+
+
+def test_unsorted_result_caught(grid):
+    result = repro.solve(grid, 0, 63, k=3)
+    result.paths[0], result.paths[2] = result.paths[2], result.paths[0]
+    with pytest.raises(SanitizerError, match="non-decreasing"):
+        check_result_paths(grid, result, 0, 63)
+
+
+def test_prune_certificate_flags_path_above_bound(grid):
+    result = repro.solve(grid, 0, 63, k=4)
+    assert result.prune is not None and np.isfinite(result.prune.bound)
+    result.paths[-1] = Path(
+        distance=result.prune.bound * 2.0, vertices=result.paths[-1].vertices
+    )
+    with pytest.raises(SanitizerError, match="prune bound") as exc:
+        check_prune_certificate(result)
+    assert exc.value.finding.rule == "SAN-PRUNE"
+
+
+def test_prune_certificate_flags_prunable_vertex(grid):
+    result = repro.solve(grid, 0, 63, k=4)
+    v = result.paths[0].vertices[1]
+    result.prune.sp_sum[v] = result.prune.bound * 10  # claim v was prunable
+    with pytest.raises(SanitizerError, match=f"vertex {v}"):
+        check_prune_certificate(result)
+
+
+# ----------------------------------------------------------------------
+# workspace epoch integrity
+# ----------------------------------------------------------------------
+def test_workspace_future_stamp_caught(grid):
+    ws = SSSPWorkspace(grid)
+    ws.next_epoch()
+    check_workspace(ws)  # fresh workspace is fine
+    ws._dstamp[5] = ws.epoch + 3
+    with pytest.raises(SanitizerError, match="vertex 5") as exc:
+        check_workspace(ws)
+    assert exc.value.finding.rule == "SAN-WS"
+
+
+def test_workspace_ban_mask_desync_caught(grid):
+    ws = SSSPWorkspace(grid)
+    ws.next_epoch()
+    ws._ban_bytes[7] = 1  # mask flipped without updating the tracking set
+    with pytest.raises(SanitizerError, match="vertex 7"):
+        check_workspace(ws)

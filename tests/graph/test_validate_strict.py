@@ -1,0 +1,42 @@
+"""CSRGraph._validate: explicit NaN-weight and indptr-regression diagnoses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, InvalidWeightError
+from repro.graph.csr import CSRGraph
+
+
+def test_nan_weight_rejected_with_edge_index():
+    with pytest.raises(InvalidWeightError, match=r"edge 1 has NaN weight"):
+        CSRGraph(
+            np.array([0, 2, 3, 3]),
+            np.array([1, 2, 0]),
+            np.array([1.0, float("nan"), 2.0]),
+        )
+
+
+def test_nan_weight_message_distinct_from_nonpositive():
+    with pytest.raises(InvalidWeightError) as exc:
+        CSRGraph(np.array([0, 1]), np.array([0]), np.array([-1.0]))
+    assert "NaN" not in str(exc.value)
+    assert "strictly positive" in str(exc.value)
+
+
+def test_negative_indptr_delta_rejected_with_vertex():
+    with pytest.raises(GraphFormatError, match=r"drops from 2 to 1 at vertex 1"):
+        CSRGraph(
+            np.array([0, 2, 1, 3]),
+            np.array([1, 2, 0]),
+            np.array([1.0, 1.0, 1.0]),
+        )
+
+
+def test_infinite_weight_still_rejected():
+    with pytest.raises(InvalidWeightError):
+        CSRGraph(np.array([0, 1]), np.array([0]), np.array([float("inf")]))
+
+
+def test_valid_graph_unaffected():
+    g = CSRGraph(np.array([0, 1, 2]), np.array([1, 0]), np.array([0.5, 2.0]))
+    assert g.num_vertices == 2 and g.num_edges == 2
