@@ -18,6 +18,9 @@ True
 * :func:`repro.peek_ksp` / :class:`repro.PeeK` — the paper's contribution.
 * :mod:`repro.ksp` — the five comparison algorithms (Yen, NC, OptYen, SB,
   SB*) plus the PNC and ``SHORTEST k GROUP`` extensions.
+* :mod:`repro.serve` — the deadline-aware serving layer:
+  :class:`repro.QueryServer` gives every query a budget all stages
+  observe and a defined outcome (graceful degradation; docs/serving.md).
 * :mod:`repro.obs` — span-based tracing/metrics; wrap any call in
   ``use_tracer(Tracer())`` to see where the time and work went.
 * :mod:`repro.graph` — CSR storage, generators, I/O, benchmark suite.
@@ -57,8 +60,9 @@ from repro.obs import (
     write_jsonl,
 )
 from repro.paths import Path
+from repro.serve import QueryServer, ServeResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "solve",
@@ -80,6 +84,8 @@ __all__ = [
     "sb_star_ksp",
     "pnc_ksp",
     "shortest_k_groups",
+    "QueryServer",
+    "ServeResult",
     "Span",
     "Tracer",
     "NoOpTracer",

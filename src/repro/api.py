@@ -22,6 +22,7 @@ traceback from deep inside a constructor.
 
 from __future__ import annotations
 
+from repro.errors import KSPError, VertexError
 from repro.ksp.base import KSPResult
 from repro.ksp.registry import ALGORITHMS, AlgorithmSpec, make_algorithm
 from repro.obs.tracer import get_tracer
@@ -47,7 +48,12 @@ def solve(
         A :class:`~repro.graph.csr.CSRGraph` (or any adjacency-array
         compatible view).
     source, target:
-        Vertex ids of the query endpoints (must differ).
+        Vertex ids of the query endpoints.  ``source == target`` raises
+        :class:`~repro.errors.KSPError` — the library-wide rule, enforced
+        identically here, in every algorithm constructor, in
+        :func:`~repro.core.pruning.k_upper_bound_prune`, and in
+        :class:`~repro.core.batch.BatchPeeK` (a zero-length "path" is not
+        a simple path, and the deviation algorithms are undefined on it).
     k:
         Number of paths requested; fewer are returned when the graph has
         fewer simple s→t paths.
@@ -82,6 +88,11 @@ def solve(
     ``prune`` / ``compact`` / ``ksp``) and per-kernel counters are
     captured — see ``docs/observability.md``.
     """
+    n = graph.num_vertices
+    if not 0 <= source < n or not 0 <= target < n:
+        raise VertexError(f"query ({source}, {target}) out of range [0, {n})")
+    if source == target:
+        raise KSPError("source and target must differ for a KSP query")
     if sanitize is None:
         from repro.analysis.sanitize import sanitize_enabled_from_env
 

@@ -1,0 +1,119 @@
+"""Cooperative cancellation checkpoints for the whole PeeK pipeline.
+
+The paper's Table 3 writes "-" for runs that blow a 1-hour budget, and the
+ROADMAP's production north star needs the same property per query: every
+stage must observe its deadline, not just the KSP deviation loop.  The
+kernels cannot be preempted (they are long NumPy batches and tight scalar
+loops), so cancellation is *cooperative*: each stage calls
+:func:`checkpoint` at a natural work boundary —
+
+* Δ-stepping: once per bucket phase;
+* Dijkstra: once per settle batch (every :data:`SETTLE_CHECK_INTERVAL`
+  settled vertices) plus once at kernel entry;
+* Algorithm 2's spSum scan: once per :data:`SCAN_CHECK_INTERVAL` inspected
+  vertices;
+* compaction: before the (single vectorised) build;
+* the deviation loop: per iteration and per suffix search, as before.
+
+A checkpoint raises :class:`~repro.errors.KSPTimeout` when the deadline —
+an absolute ``time.perf_counter()`` value, matching the historical
+``KSPAlgorithm`` convention — has passed.  The worst-case overshoot is
+therefore one checkpoint interval of work, which is what the deadline
+tests bound.
+
+Fault injection
+---------------
+The same checkpoints double as the seams for the deterministic fault
+harness (:mod:`repro.serve.faults`): an installed *fault hook* is called
+with the stage name at every checkpoint and may raise.  The hook is
+process-global (install it around a test, not around concurrent prod
+traffic) and ``None`` by default, in which case a checkpoint with no
+deadline is a single attribute load.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import KSPTimeout
+
+__all__ = [
+    "SETTLE_CHECK_INTERVAL",
+    "SCAN_CHECK_INTERVAL",
+    "checkpoint",
+    "cancellation_active",
+    "deadline_in",
+    "remaining",
+    "install_fault_hook",
+    "fault_scope",
+]
+
+#: Dijkstra checks its deadline every this-many settled vertices.  A power
+#: of two so the hot loop's test is ``settled & (N-1) == 0``.
+SETTLE_CHECK_INTERVAL = 256
+
+#: Algorithm 2's spSum scan checks every this-many inspected vertices.
+SCAN_CHECK_INTERVAL = 1024
+
+#: the installed fault hook (``Callable[[str], None] | None``)
+_fault_hook: Callable[[str], None] | None = None
+
+
+def checkpoint(deadline: float | None, stage: str) -> None:
+    """One cooperative cancellation point.
+
+    Calls the installed fault hook (if any) with ``stage``, then raises
+    :class:`~repro.errors.KSPTimeout` when ``deadline`` (an absolute
+    ``time.perf_counter()`` value) has passed.
+    """
+    hook = _fault_hook
+    if hook is not None:
+        hook(stage)
+    if deadline is not None and time.perf_counter() > deadline:
+        raise KSPTimeout(f"{stage} exceeded its deadline")
+
+
+def cancellation_active(deadline: float | None) -> bool:
+    """Whether kernels should pay for in-loop checkpoints on this run.
+
+    True when a deadline is set *or* a fault hook is installed — the hook
+    must see stage names even on deadline-less runs, or injected faults
+    would silently not fire.
+    """
+    return deadline is not None or _fault_hook is not None
+
+
+def deadline_in(seconds: float | None) -> float | None:
+    """Relative budget (seconds from now) → absolute deadline, or None."""
+    if seconds is None:
+        return None
+    return time.perf_counter() + float(seconds)
+
+
+def remaining(deadline: float | None) -> float:
+    """Seconds left until ``deadline`` (``inf`` when none; may be <= 0)."""
+    if deadline is None:
+        return float("inf")
+    return deadline - time.perf_counter()
+
+
+def install_fault_hook(
+    hook: Callable[[str], None] | None,
+) -> Callable[[str], None] | None:
+    """Install ``hook`` as the global fault hook; returns the previous one."""
+    global _fault_hook
+    prev = _fault_hook
+    _fault_hook = hook
+    return prev
+
+
+@contextmanager
+def fault_scope(hook: Callable[[str], None]) -> Iterator[None]:
+    """Install ``hook`` for the duration of the block (tests, harnesses)."""
+    prev = install_fault_hook(hook)
+    try:
+        yield
+    finally:
+        install_fault_hook(prev)

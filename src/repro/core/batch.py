@@ -13,25 +13,78 @@ opportunities fall out of PeeK's structure:
 :class:`BatchPeeK` memoises both against an LRU-bounded cache and exposes
 the same result objects as :class:`~repro.core.peek.PeeK`.  The KSP stage
 itself is per-query (each query's bound and remnant differ).
+
+The pruning decision is computed by the shared
+:func:`~repro.core.pruning.bound_and_masks` — the same Algorithm 2
+steps 2–3 code path as :func:`~repro.core.pruning.k_upper_bound_prune`,
+so batched results stay bitwise identical to single-query PeeK (tested).
+:class:`repro.serve.QueryServer` builds on :meth:`BatchPeeK.prepare` to
+drive the KSP stage incrementally under a deadline.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.compaction import RegeneratedGraph, adaptive_compact
+from repro.core.compaction import (
+    CompactionResult,
+    RegeneratedGraph,
+    adaptive_compact,
+)
 from repro.core.peek import PeeKResult
-from repro.core.pruning import PruneResult, PruneStats
-from repro.errors import UnreachableTargetError, VertexError
+from repro.core.pruning import PruneResult, PruneStats, bound_and_masks
+from repro.errors import KSPError, UnreachableTargetError, VertexError
 from repro.ksp.optyen import OptYenKSP
 from repro.obs.tracer import get_tracer
-from repro.paths import INF, Path
+from repro.paths import Path
 from repro.sssp.delta_stepping import delta_stepping
 from repro.sssp.dijkstra import dijkstra
 
-__all__ = ["BatchPeeK"]
+__all__ = ["BatchPeeK", "PreparedQuery"]
+
+
+@dataclass
+class PreparedQuery:
+    """Stages 1–2 of one batched query, ready for the KSP stage.
+
+    Produced by :meth:`BatchPeeK.prepare`.  ``inner`` is the OptYen solver
+    over the compacted graph; drive :meth:`inner.iter_paths` (mapping each
+    path through :meth:`map_paths`) for incremental consumption — the
+    serving layer does this to salvage partial results on timeout — or
+    call :meth:`run` for the classic all-at-once result.
+    """
+
+    source: int
+    target: int
+    k: int
+    inner: OptYenKSP
+    prune: PruneResult
+    compaction: CompactionResult
+    regen: RegeneratedGraph | None
+
+    def map_paths(self, paths) -> list[Path]:
+        """Inner-graph paths → original vertex ids."""
+        if self.regen is None:
+            return list(paths)
+        return [
+            Path(p.distance, self.regen.map_path_back(p.vertices))
+            for p in paths
+        ]
+
+    def run(self) -> PeeKResult:
+        """Run the KSP stage to completion and assemble the PeeK result."""
+        result = self.inner.run(self.k)  # opens its own "ksp" span
+        return PeeKResult(
+            paths=self.map_paths(result.paths),
+            k_requested=self.k,
+            stats=result.stats,
+            prune=self.prune,
+            compaction=self.compaction,
+            ksp_stats=result.stats,
+        )
 
 
 class BatchPeeK:
@@ -44,10 +97,15 @@ class BatchPeeK:
     kernel:
         SSSP kernel for the pruning stage, as in PeeK.
     cache_size:
-        Maximum number of forward *and* reverse SSSP results retained
-        (each is O(n) memory).
+        Maximum number of SSSP results retained across forward *and*
+        reverse caches combined (each result is O(n) memory, so this is
+        the memory bound).  Eviction is least-recently-used over the two
+        directions together.
     alpha:
         Adaptive-compaction coefficient.
+    strong_edge_prune:
+        Enable the edge-level Lemma-4.2 extension, exactly as in
+        :class:`~repro.core.peek.PeeK` (default off, matching the paper).
     use_workspace:
         Let each query's KSP stage reuse an epoch-stamped SSSP workspace
         across its spur searches, exactly as :class:`~repro.core.peek.PeeK`
@@ -61,6 +119,7 @@ class BatchPeeK:
         kernel: str = "delta",
         cache_size: int = 64,
         alpha: float = 0.1,
+        strong_edge_prune: bool = False,
         use_workspace: bool = True,
     ) -> None:
         if cache_size < 1:
@@ -68,162 +127,153 @@ class BatchPeeK:
         self.graph = graph
         self.kernel = kernel
         self.alpha = alpha
+        self.strong_edge_prune = strong_edge_prune
         self.use_workspace = use_workspace
         self._cache_size = cache_size
-        self._fwd: OrderedDict[int, object] = OrderedDict()
-        self._rev: OrderedDict[int, object] = OrderedDict()
+        #: one LRU over both directions, keyed ("fwd"|"rev", root)
+        self._cache: OrderedDict[tuple[str, int], object] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
-    def _sssp(self, cache: OrderedDict, graph, root: int):
-        res = cache.get(root)
+    def _sssp(self, direction: str, graph, root: int, deadline: float | None):
+        key = (direction, root)
+        res = self._cache.get(key)
         if res is not None:
-            cache.move_to_end(root)
+            self._cache.move_to_end(key)
             self.hits += 1
             get_tracer().add("batch.cache_hits")
             return res
         self.misses += 1
         get_tracer().add("batch.cache_misses")
         if self.kernel == "delta":
-            res = delta_stepping(graph, root)
+            res = delta_stepping(graph, root, deadline=deadline)
         else:
-            res = dijkstra(graph, root)
-        cache[root] = res
-        if len(cache) > self._cache_size:
-            cache.popitem(last=False)
+            res = dijkstra(graph, root, deadline=deadline)
+        self._cache[key] = res
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
         return res
 
-    def forward_sssp(self, source: int):
+    def forward_sssp(self, source: int, *, deadline: float | None = None):
         """Cached forward SSSP from ``source``."""
-        return self._sssp(self._fwd, self.graph, source)
+        return self._sssp("fwd", self.graph, source, deadline)
 
-    def reverse_sssp(self, target: int):
+    def reverse_sssp(self, target: int, *, deadline: float | None = None):
         """Cached reverse SSSP toward ``target``."""
-        return self._sssp(self._rev, self.graph.reverse(), target)
+        return self._sssp("rev", self.graph.reverse(), target, deadline)
 
     # ------------------------------------------------------------------
-    def query(self, source: int, target: int, k: int) -> PeeKResult:
+    def prepare(
+        self,
+        source: int,
+        target: int,
+        k: int,
+        *,
+        deadline: float | None = None,
+    ) -> PreparedQuery:
+        """Run the prune and compact stages for one query.
+
+        Reuses any cached SSSP halves; ``deadline`` (absolute
+        ``time.perf_counter()``) is threaded into every stage — a cache
+        *miss* SSSP, the spSum scan, the compaction build, and the
+        returned inner solver all observe it cooperatively and raise
+        :class:`~repro.errors.KSPTimeout`.
+        """
+        n = self.graph.num_vertices
+        if not 0 <= source < n or not 0 <= target < n:
+            raise VertexError(f"query ({source}, {target}) out of range")
+        if source == target:
+            raise KSPError("source and target must differ for a KSP query")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        tracer = get_tracer()
+        with tracer.span("prune", k=k, kernel=self.kernel):
+            fwd = self.forward_sssp(source, deadline=deadline)
+            rev = self.reverse_sssp(target, deadline=deadline)
+            if not np.isfinite(fwd.dist[target]):
+                raise UnreachableTargetError(
+                    f"target {target} unreachable from {source}"
+                )
+            pr = bound_and_masks(
+                fwd,
+                rev,
+                source,
+                target,
+                k,
+                graph=self.graph,
+                strong_edge_prune=self.strong_edge_prune,
+                stats=PruneStats(),
+                deadline=deadline,
+            )
+        with tracer.span("compact") as span:
+            comp = adaptive_compact(
+                self.graph,
+                pr.keep_vertices,
+                pr.keep_edges,
+                alpha=self.alpha,
+                deadline=deadline,
+            )
+            if tracer.enabled:
+                span.attrs["strategy"] = comp.strategy
+        if isinstance(comp.compacted, RegeneratedGraph):
+            regen = comp.compacted
+            inner = OptYenKSP(
+                regen.graph,
+                regen.map_vertex(source),
+                regen.map_vertex(target),
+                deadline=deadline,
+                use_workspace=self.use_workspace,
+            )
+        else:
+            regen = None
+            inner = OptYenKSP(
+                comp.compacted,
+                source,
+                target,
+                deadline=deadline,
+                use_workspace=self.use_workspace,
+            )
+        return PreparedQuery(
+            source=source,
+            target=target,
+            k=k,
+            inner=inner,
+            prune=pr,
+            compaction=comp,
+            regen=regen,
+        )
+
+    def query(
+        self,
+        source: int,
+        target: int,
+        k: int,
+        *,
+        deadline: float | None = None,
+    ) -> PeeKResult:
         """One PeeK query, reusing any cached SSSP halves.
 
         Identical results to ``PeeK(graph, s, t).run(k)`` (tested); only
         the pruning SSSPs are shared across queries.
         """
-        n = self.graph.num_vertices
-        if not 0 <= source < n or not 0 <= target < n:
-            raise VertexError(f"query ({source}, {target}) out of range")
-        if k < 1:
-            raise ValueError("k must be >= 1")
         tracer = get_tracer()
         with tracer.span("batch.query", source=source, target=target, k=k):
-            with tracer.span("prune", k=k, kernel=self.kernel):
-                fwd = self.forward_sssp(source)
-                rev = self.reverse_sssp(target)
-                if not np.isfinite(fwd.dist[target]):
-                    raise UnreachableTargetError(
-                        f"target {target} unreachable from {source}"
-                    )
-                pr = self._prune_from(fwd, rev, source, target, k)
-            with tracer.span("compact") as span:
-                comp = adaptive_compact(
-                    self.graph, pr.keep_vertices, pr.keep_edges, alpha=self.alpha
-                )
-                if tracer.enabled:
-                    span.attrs["strategy"] = comp.strategy
-            if isinstance(comp.compacted, RegeneratedGraph):
-                regen = comp.compacted
-                inner = OptYenKSP(
-                    regen.graph,
-                    regen.map_vertex(source),
-                    regen.map_vertex(target),
-                    use_workspace=self.use_workspace,
-                )
-                result = inner.run(k)
-                paths = [
-                    Path(p.distance, regen.map_path_back(p.vertices))
-                    for p in result.paths
-                ]
-            else:
-                inner = OptYenKSP(
-                    comp.compacted,
-                    source,
-                    target,
-                    use_workspace=self.use_workspace,
-                )
-                result = inner.run(k)
-                paths = result.paths
-        return PeeKResult(
-            paths=paths,
-            k_requested=k,
-            stats=result.stats,
-            prune=pr,
-            compaction=comp,
-            ksp_stats=result.stats,
-        )
-
-    def _prune_from(self, fwd, rev, source, target, k) -> PruneResult:
-        """Algorithm 2 steps 2–3 over pre-computed SSSP halves."""
-        from repro.core.validation import combined_path, validate_combined_path
-
-        graph = self.graph
-        n = graph.num_vertices
-        stats = PruneStats()
-        sp_sum = fwd.dist + rev.dist
-        stats.sum_work = n
-        finite = np.flatnonzero(np.isfinite(sp_sum))
-        order = finite[np.argsort(sp_sum[finite], kind="stable")]
-        stats.sort_work = int(
-            order.size * max(int(np.log2(max(order.size, 2))), 1)
-        )
-        bound = INF
-        seen: set[tuple[int, ...]] = set()
-        for v in order.tolist():
-            parts = combined_path(fwd.parent, rev.parent, source, target, v)
-            if parts is None:  # pragma: no cover - defensive
-                continue
-            src_path, tgt_path = parts
-            stats.validation_work += len(src_path) + len(tgt_path)
-            stats.inspected_paths += 1
-            valid, full = validate_combined_path(src_path, tgt_path)
-            if not valid:
-                stats.inspected_invalid += 1
-                continue
-            if full in seen:
-                continue
-            seen.add(full)
-            if len(seen) == k:
-                bound = float(sp_sum[v])
-                break
-        slack = bound * 1e-9 if np.isfinite(bound) else 0.0
-        threshold = bound + slack
-        keep_vertices = np.zeros(n, dtype=bool)
-        keep_vertices[finite] = sp_sum[finite] <= threshold
-        keep_edges = graph.weights <= threshold
-        stats.prune_scan_work = n + graph.num_edges
-        return PruneResult(
-            bound=bound,
-            keep_vertices=keep_vertices,
-            keep_edges=keep_edges,
-            dist_src=fwd.dist,
-            dist_tgt=rev.dist,
-            parent_src=fwd.parent,
-            parent_tgt=rev.parent,
-            sp_sum=sp_sum,
-            stats=stats,
-        )
+            prep = self.prepare(source, target, k, deadline=deadline)
+            return prep.run()
 
     # ------------------------------------------------------------------
     @property
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss counters plus current cache occupancy."""
+        """Hit/miss counters plus current cache occupancy per direction."""
+        fwd = sum(1 for d, _ in self._cache if d == "fwd")
         return {
             "hits": self.hits,
             "misses": self.misses,
-            "forward_cached": len(self._fwd),
-            "reverse_cached": len(self._rev),
+            "forward_cached": fwd,
+            "reverse_cached": len(self._cache) - fwd,
         }
 
     def clear_cache(self) -> None:
         """Drop all cached SSSP results (e.g. after the graph changed)."""
-        self._fwd.clear()
-        self._rev.clear()
+        self._cache.clear()

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cancel import cancellation_active, checkpoint
 from repro.errors import GraphFormatError, VertexError
 from repro.graph.csr import CSRGraph
 
@@ -299,6 +300,7 @@ def adaptive_compact(
     *,
     alpha: float = 0.1,
     force: str | None = None,
+    deadline: float | None = None,
 ) -> CompactionResult:
     """The adaptive selection rule of §5.4.
 
@@ -310,9 +312,18 @@ def adaptive_compact(
     KSP-heavy workloads and we default lower for the light K≤128 queries.
 
     ``force`` overrides the rule with a named strategy (benchmarks use it).
+
+    ``deadline`` (absolute ``time.perf_counter()``) is checked before the
+    mask combination and again before the strategy build — each is one
+    vectorised pass, so those two checkpoints bound the overshoot at a
+    single build's cost.  Exceeding it raises
+    :class:`~repro.errors.KSPTimeout`.
     """
     if not 0.0 <= alpha <= 1.0:
         raise ValueError("alpha must be within [0, 1]")
+    check_cancel = cancellation_active(deadline)
+    if check_cancel:
+        checkpoint(deadline, "compact")
     keep_vertices = np.asarray(keep_vertices, dtype=bool)
     live = _combined_edge_mask(graph, keep_vertices, keep_edges)
     m_r = int(live.sum())
@@ -326,6 +337,8 @@ def adaptive_compact(
     else:
         strategy = "edge-swap"
 
+    if check_cancel:
+        checkpoint(deadline, "compact.build")
     t0 = time.perf_counter()
     if strategy == "regeneration":
         compacted: object = compact_regenerate(graph, keep_vertices, keep_edges)

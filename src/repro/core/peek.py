@@ -149,6 +149,7 @@ class PeeK(KSPAlgorithm):
                 k,
                 kernel=self.kernel,
                 strong_edge_prune=self.strong_edge_prune,
+                deadline=self.deadline,
             )
             if tracer.enabled:
                 span.add("prune.inspected_paths", pr.stats.inspected_paths)
@@ -167,6 +168,7 @@ class PeeK(KSPAlgorithm):
                     pr.keep_edges,
                     alpha=self.alpha,
                     force=self.compaction_force,
+                    deadline=self.deadline,
                 )
             else:
                 # "Base + Pruning" ablation: original CSR + status arrays.

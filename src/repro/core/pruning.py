@@ -21,13 +21,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cancel import SCAN_CHECK_INTERVAL, cancellation_active, checkpoint
 from repro.core.validation import combined_path, validate_combined_path
-from repro.errors import UnreachableTargetError, VertexError
+from repro.errors import KSPError, UnreachableTargetError, VertexError
 from repro.paths import INF
 from repro.sssp.delta_stepping import delta_stepping
 from repro.sssp.dijkstra import dijkstra
 
-__all__ = ["PruneStats", "PruneResult", "k_upper_bound_prune"]
+__all__ = ["PruneStats", "PruneResult", "bound_and_masks", "k_upper_bound_prune"]
 
 
 @dataclass
@@ -107,63 +108,50 @@ class PruneResult:
         return 1.0 - float(live.sum()) / m
 
 
-def k_upper_bound_prune(
-    graph,
+def bound_and_masks(
+    fwd,
+    rev,
     source: int,
     target: int,
     k: int,
     *,
-    kernel: str = "delta",
+    graph,
     strong_edge_prune: bool = False,
+    stats: PruneStats | None = None,
+    deadline: float | None = None,
 ) -> PruneResult:
-    """Run Algorithm 2 and return the pruning decision.
+    """Algorithm 2 steps 2–3 over pre-computed SSSP halves.
+
+    This is the single implementation of the spSum scan and the pruning
+    masks, shared by :func:`k_upper_bound_prune` (which runs the two SSSPs
+    itself) and :class:`~repro.core.batch.BatchPeeK` (which memoises them
+    across queries).
 
     Parameters
     ----------
-    kernel:
-        ``"delta"`` (paper's choice; emits the parallel phase log) or
-        ``"dijkstra"`` (faster serially on small remaining graphs).
+    fwd, rev:
+        Forward SSSP from ``source`` and reverse SSSP toward ``target``
+        (any object with ``dist``/``parent`` arrays over ``graph``'s
+        vertex space).
+    graph:
+        The graph the SSSPs were computed on; supplies the edge arrays for
+        the weight-rule (and optional strong) edge mask.
     strong_edge_prune:
-        Library extension beyond the paper's weight rule: additionally drop
-        every edge ``(u, v)`` with ``spSrc[u] + w + spTgt[v] > b`` — the
-        edge-level analogue of Lemma 4.2, sound by the same argument.  Off
-        by default to match the paper; the ablation benchmark measures it.
-
-    Raises
-    ------
-    UnreachableTargetError
-        When no s→t path exists (the paper samples only reachable pairs).
+        The edge-level Lemma-4.2 extension (see
+        :func:`k_upper_bound_prune`).
+    stats:
+        Fold the scan's work accounting into an existing
+        :class:`PruneStats` (e.g. one already carrying SSSP counters);
+        a fresh one is created when omitted.
+    deadline:
+        Absolute ``time.perf_counter()`` value; the scan checks it every
+        :data:`repro.cancel.SCAN_CHECK_INTERVAL` inspected vertices and
+        raises :class:`~repro.errors.KSPTimeout`.
     """
     n = graph.num_vertices
-    if not 0 <= source < n:
-        raise VertexError(f"source {source} out of range [0, {n})")
-    if not 0 <= target < n:
-        raise VertexError(f"target {target} out of range [0, {n})")
-    if k < 1:
-        raise ValueError("k must be >= 1")
-
-    stats = PruneStats()
-
-    # ---- Step 1: the two SSSPs -------------------------------------------
-    if kernel == "delta":
-        fwd = delta_stepping(graph, source)
-        rev = delta_stepping(graph.reverse(), target)
-        stats.sssp_phase_work = list(fwd.stats.phase_work) + list(
-            rev.stats.phase_work
-        )
-    elif kernel == "dijkstra":
-        fwd = dijkstra(graph, source)
-        rev = dijkstra(graph.reverse(), target)
-    else:
-        raise ValueError(f"unknown SSSP kernel {kernel!r}")
-    for r in (fwd, rev):
-        stats.edges_relaxed += r.stats.edges_relaxed
-        stats.vertices_settled += r.stats.vertices_settled
-
-    if not np.isfinite(fwd.dist[target]):
-        raise UnreachableTargetError(
-            f"target {target} unreachable from {source}"
-        )
+    if stats is None:
+        stats = PruneStats()
+    check_cancel = cancellation_active(deadline)
 
     # ---- Step 2: spSum and the K upper bound -----------------------------
     sp_sum = fwd.dist + rev.dist  # inf propagates for unreachable vertices
@@ -175,7 +163,11 @@ def k_upper_bound_prune(
 
     bound = INF
     seen_paths: set[tuple[int, ...]] = set()
+    inspected = 0
     for v in order.tolist():
+        inspected += 1
+        if check_cancel and inspected % SCAN_CHECK_INTERVAL == 1:
+            checkpoint(deadline, "prune.scan")  # fires on the first inspection
         src_tgt = combined_path(fwd.parent, rev.parent, source, target, v)
         if src_tgt is None:  # pragma: no cover - finite spSum implies trees exist
             continue
@@ -201,6 +193,8 @@ def k_upper_bound_prune(
     # hair more than the exact bound is always sound (pruning less can never
     # violate Theorem 4.3); pruning a vertex that is exactly *at* the bound
     # would drop a K-th path.
+    if check_cancel:
+        checkpoint(deadline, "prune.masks")
     slack = bound * 1e-9 if np.isfinite(bound) else 0.0
     threshold = bound + slack
     keep_vertices = np.zeros(n, dtype=bool)
@@ -222,4 +216,85 @@ def k_upper_bound_prune(
         parent_tgt=rev.parent,
         sp_sum=sp_sum,
         stats=stats,
+    )
+
+
+def k_upper_bound_prune(
+    graph,
+    source: int,
+    target: int,
+    k: int,
+    *,
+    kernel: str = "delta",
+    strong_edge_prune: bool = False,
+    deadline: float | None = None,
+) -> PruneResult:
+    """Run Algorithm 2 and return the pruning decision.
+
+    Parameters
+    ----------
+    kernel:
+        ``"delta"`` (paper's choice; emits the parallel phase log) or
+        ``"dijkstra"`` (faster serially on small remaining graphs).
+    strong_edge_prune:
+        Library extension beyond the paper's weight rule: additionally drop
+        every edge ``(u, v)`` with ``spSrc[u] + w + spTgt[v] > b`` — the
+        edge-level analogue of Lemma 4.2, sound by the same argument.  Off
+        by default to match the paper; the ablation benchmark measures it.
+    deadline:
+        Absolute ``time.perf_counter()`` value threaded into the SSSP
+        kernels and the spSum scan; exceeding it raises
+        :class:`~repro.errors.KSPTimeout` at the next checkpoint.
+
+    Raises
+    ------
+    UnreachableTargetError
+        When no s→t path exists (the paper samples only reachable pairs).
+    KSPError
+        When ``source == target`` — a KSP query needs distinct endpoints
+        (the library-wide rule; see ``docs/serving.md``).
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise VertexError(f"source {source} out of range [0, {n})")
+    if not 0 <= target < n:
+        raise VertexError(f"target {target} out of range [0, {n})")
+    if source == target:
+        raise KSPError("source and target must differ for a KSP query")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    stats = PruneStats()
+
+    # ---- Step 1: the two SSSPs -------------------------------------------
+    if kernel == "delta":
+        fwd = delta_stepping(graph, source, deadline=deadline)
+        rev = delta_stepping(graph.reverse(), target, deadline=deadline)
+        stats.sssp_phase_work = list(fwd.stats.phase_work) + list(
+            rev.stats.phase_work
+        )
+    elif kernel == "dijkstra":
+        fwd = dijkstra(graph, source, deadline=deadline)
+        rev = dijkstra(graph.reverse(), target, deadline=deadline)
+    else:
+        raise ValueError(f"unknown SSSP kernel {kernel!r}")
+    for r in (fwd, rev):
+        stats.edges_relaxed += r.stats.edges_relaxed
+        stats.vertices_settled += r.stats.vertices_settled
+
+    if not np.isfinite(fwd.dist[target]):
+        raise UnreachableTargetError(
+            f"target {target} unreachable from {source}"
+        )
+
+    return bound_and_masks(
+        fwd,
+        rev,
+        source,
+        target,
+        k,
+        graph=graph,
+        strong_edge_prune=strong_edge_prune,
+        stats=stats,
+        deadline=deadline,
     )

@@ -36,6 +36,26 @@ class KSPError(ReproError):
     """A K-shortest-path query could not be satisfied as requested."""
 
 
+class KSPTimeout(KSPError):
+    """Raised when a pipeline stage exceeds its deadline (the paper's '-').
+
+    Every stage of the PeeK pipeline — the pruning SSSPs, the compaction
+    build, and the KSP deviation loop — observes the deadline through the
+    cooperative checkpoints in :mod:`repro.cancel`, so a timeout surfaces
+    within one checkpoint interval of the budget, never after an unbounded
+    stage run.  (Historically exported from :mod:`repro.ksp.base`, which
+    still re-exports it.)
+    """
+
+
+class ServerOverloadError(ReproError):
+    """The serving layer shed this query: too many queries in flight.
+
+    Raised by :class:`repro.serve.QueryServer` admission control before any
+    pipeline work starts; the caller may retry later.
+    """
+
+
 class PartitionError(ReproError):
     """A distributed partition is inconsistent (overlap, gap, bad rank)."""
 

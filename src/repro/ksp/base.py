@@ -16,11 +16,11 @@ is precisely where their performance characteristics live.
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.errors import KSPError, UnreachableTargetError, VertexError
+from repro.cancel import checkpoint
+from repro.errors import KSPError, KSPTimeout, UnreachableTargetError, VertexError
 from repro.obs.tracer import get_tracer
 from repro.paths import Path
 from repro.sssp.dijkstra import dijkstra
@@ -28,15 +28,11 @@ from repro.sssp.dijkstra import dijkstra
 __all__ = [
     "KSPStats",
     "KSPResult",
-    "KSPTimeout",
+    "KSPTimeout",  # re-exported from repro.errors (historical home)
     "KSPAlgorithm",
     "DeviationKSP",
     "Candidate",
 ]
-
-
-class KSPTimeout(KSPError):
-    """Raised when a KSP run exceeds its deadline (the paper's '-' entries)."""
 
 
 @dataclass
@@ -184,8 +180,7 @@ class KSPAlgorithm:
         span.add("ksp.repairs", st.repairs)
 
     def _check_deadline(self) -> None:
-        if self.deadline is not None and time.perf_counter() > self.deadline:
-            raise KSPTimeout(f"{self.name} exceeded its deadline")
+        checkpoint(self.deadline, self.name)
 
 
 class DeviationKSP(KSPAlgorithm):
@@ -267,6 +262,7 @@ class DeviationKSP(KSPAlgorithm):
             self.source,
             target=self.target,
             workspace=self._get_workspace(),
+            deadline=self.deadline,
         )
         self.stats.init_work += self.stats.add_sssp(res.stats)
         if not res.reached(self.target):
@@ -422,6 +418,7 @@ class DeviationKSP(KSPAlgorithm):
             banned_edges=banned_edges,
             cutoff=cutoff,
             workspace=self._get_workspace(),
+            deadline=self.deadline,
         )
         work = self.stats.add_sssp(res.stats)
         self._log_task(work)

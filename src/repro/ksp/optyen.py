@@ -35,7 +35,7 @@ class OptYenKSP(DeviationKSP):
     lawler_default = True
 
     def _prepare(self) -> None:
-        rev = dijkstra(self.graph.reverse(), self.target)
+        rev = dijkstra(self.graph.reverse(), self.target, deadline=self.deadline)
         self.stats.init_work += self.stats.add_sssp(rev.stats)
         #: dist_tgt[v] = shortest v→target distance in the *full* graph
         self.dist_tgt = rev.dist

@@ -1,0 +1,39 @@
+"""The deadline-aware serving layer (see ``docs/serving.md``).
+
+:class:`QueryServer` is the production front end over
+:class:`~repro.core.batch.BatchPeeK`: every query carries a real time
+budget that all pipeline stages observe cooperatively, and every query
+gets a defined outcome — ``complete``, ``degraded`` (exact results via the
+plain-OptYen fallback), ``partial`` (an exact prefix of the K list), or
+``failed`` — instead of an unbounded hang or an exception from deep inside
+a kernel.
+
+:mod:`repro.serve.faults` is the deterministic fault-injection harness the
+degradation paths are tested with.
+"""
+
+from repro.serve.faults import FaultInjector, FaultRule, InjectedFault
+from repro.serve.server import (
+    COMPLETE,
+    DEGRADED,
+    FAILED,
+    OUTCOMES,
+    PARTIAL,
+    QueryServer,
+    RetryPolicy,
+    ServeResult,
+)
+
+__all__ = [
+    "QueryServer",
+    "ServeResult",
+    "RetryPolicy",
+    "OUTCOMES",
+    "COMPLETE",
+    "DEGRADED",
+    "PARTIAL",
+    "FAILED",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+]

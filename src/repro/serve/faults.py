@@ -1,0 +1,141 @@
+"""Deterministic fault injection at pipeline checkpoint boundaries.
+
+Degradation code is only trustworthy if its failure paths actually run,
+and real timeouts are flaky to provoke (a CI machine may be fast enough
+that a "tiny" budget still finishes).  This harness makes faults *exact*:
+every cooperative-cancellation checkpoint in the pipeline
+(:mod:`repro.cancel`) doubles as an injection seam, and a
+:class:`FaultInjector` installed as the fault hook raises a chosen
+exception at the Nth visit to a named stage — same graph, same seed, same
+fault, every run.
+
+Stage names are the checkpoint labels:
+
+========================  ====================================================
+``sssp.delta``            Δ-stepping bucket phases (pruning-stage SSSPs)
+``sssp.dijkstra``         Dijkstra entry + settle batches (prune or spur)
+``prune.scan``            Algorithm 2's spSum scan
+``prune.masks``           the vertex/edge mask build
+``compact`` / ``compact.build``  adaptive compaction decision / build
+``OptYen`` (etc.)         the deviation loop (stage = algorithm name)
+``serve.attempt``         :class:`~repro.serve.server.QueryServer` boundary
+========================  ====================================================
+
+A rule matches a stage exactly or by dotted prefix (``"sssp"`` matches
+both kernels).  Rules with ``at_hit=None`` draw the firing hit count from
+the injector's seeded RNG, so randomised fault campaigns are reproducible
+from the seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cancel import fault_scope
+from repro.errors import KSPTimeout, ReproError, UnreachableTargetError
+
+__all__ = ["InjectedFault", "FaultRule", "FaultInjector"]
+
+
+class InjectedFault(ReproError):
+    """A synthetic fault raised by the harness (never by production code).
+
+    ``transient=True`` marks it retryable: the server's retry-with-backoff
+    policy treats it like a transient infrastructure fault (and anything
+    else carrying a truthy ``transient`` attribute the same way).
+    """
+
+    def __init__(self, stage: str, *, transient: bool = True) -> None:
+        super().__init__(f"injected fault at stage {stage!r}")
+        self.stage = stage
+        self.transient = transient
+
+
+@dataclass
+class FaultRule:
+    """Fire one kind of fault at the Nth checkpoint visit of a stage.
+
+    Parameters
+    ----------
+    stage:
+        Checkpoint label to match — exact, or a dotted prefix
+        (``"sssp"`` matches ``"sssp.delta"``).
+    kind:
+        ``"timeout"`` raises :class:`~repro.errors.KSPTimeout`;
+        ``"unreachable"`` raises
+        :class:`~repro.errors.UnreachableTargetError`; ``"transient"``
+        raises a retryable :class:`InjectedFault`; ``"fatal"`` raises a
+        non-retryable one.
+    at_hit:
+        1-based visit count at which to start firing.  ``None`` draws it
+        from the injector's seeded RNG in ``[1, max_hit]``.
+    times:
+        Consecutive visits that fire (lets a "transient" fault survive a
+        bounded number of retries before the stage recovers).
+    max_hit:
+        Upper bound for the seeded draw when ``at_hit`` is ``None``.
+    """
+
+    stage: str
+    kind: str = "timeout"
+    at_hit: int | None = 1
+    times: int = 1
+    max_hit: int = 4
+
+    def matches(self, stage: str) -> bool:
+        return stage == self.stage or stage.startswith(self.stage + ".")
+
+    def make_error(self, stage: str) -> ReproError:
+        if self.kind == "timeout":
+            return KSPTimeout(f"injected timeout at stage {stage!r}")
+        if self.kind == "unreachable":
+            return UnreachableTargetError(
+                f"injected unreachable fault at stage {stage!r}"
+            )
+        if self.kind == "transient":
+            return InjectedFault(stage, transient=True)
+        if self.kind == "fatal":
+            return InjectedFault(stage, transient=False)
+        raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultInjector:
+    """The callable installed as :mod:`repro.cancel`'s fault hook.
+
+    >>> inj = FaultInjector([FaultRule("prune.scan", kind="timeout")])
+    >>> with inj.installed():
+    ...     ...  # the next prune.scan checkpoint raises KSPTimeout
+
+    ``seed`` resolves every rule whose ``at_hit`` is ``None``; with all
+    hits pinned the injector is deterministic regardless of seed.
+    ``fired`` records ``(stage, kind)`` per firing for test assertions;
+    ``hits`` counts checkpoint visits per rule.
+    """
+
+    def __init__(
+        self, rules: list[FaultRule], *, seed: int | None = None
+    ) -> None:
+        rng = random.Random(seed)
+        self.rules = list(rules)
+        #: resolved firing hit per rule (index-aligned with ``rules``)
+        self.at_hits = [
+            r.at_hit if r.at_hit is not None else rng.randint(1, r.max_hit)
+            for r in self.rules
+        ]
+        self.hits = [0] * len(self.rules)
+        self.fired: list[tuple[str, str]] = []
+
+    def __call__(self, stage: str) -> None:
+        for i, rule in enumerate(self.rules):
+            if not rule.matches(stage):
+                continue
+            self.hits[i] += 1
+            first = self.at_hits[i]
+            if first <= self.hits[i] < first + rule.times:
+                self.fired.append((stage, rule.kind))
+                raise rule.make_error(stage)
+
+    def installed(self):
+        """Context manager installing this injector as the fault hook."""
+        return fault_scope(self)

@@ -1,0 +1,398 @@
+"""``QueryServer`` — bounded-latency KSP serving with graceful degradation.
+
+The paper caps benchmark runs at one hour and writes "-" on overrun; a
+production KSP service needs the per-query version of that discipline:
+a budget every stage observes, and a *defined* answer when the budget (or
+a stage) blows up.  The server composes three mechanisms:
+
+1. **Budgets.** Each query's relative ``timeout`` becomes an absolute
+   deadline threaded through :meth:`BatchPeeK.prepare` into every stage —
+   pruning SSSPs (per bucket / per settle batch), the spSum scan, the
+   compaction build, and the deviation loop — via the cooperative
+   checkpoints of :mod:`repro.cancel`.
+
+2. **Degradation chain.**  PeeK → plain OptYen → partial results:
+
+   * a timeout (or an ``UnreachableTargetError``-class fault) in PeeK's
+     prune/compact stages falls back to plain OptYen on the *original*
+     graph under the same deadline — still exact, just slower (Yamane &
+     Kitajima's observation that a reduced-graph fallback stays exact,
+     inverted: the unreduced graph is always a sound fallback);
+   * a timeout inside either KSP enumeration keeps the paths produced so
+     far — deviation algorithms yield in non-decreasing distance order,
+     so the prefix is exactly the true top-``len(paths)`` list;
+   * the outcome (``complete | degraded | partial | failed``) is recorded
+     on the :class:`ServeResult` and on the active obs span.
+
+3. **Retry + admission control.**  Transient faults (anything raising
+   with a truthy ``transient`` attribute, e.g. the harness'
+   :class:`~repro.serve.faults.InjectedFault`) are retried with
+   exponential backoff while budget remains; a bounded in-flight count
+   sheds excess load with :class:`~repro.errors.ServerOverloadError`
+   before any pipeline work starts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cancel import checkpoint, deadline_in, remaining
+from repro.core.batch import BatchPeeK
+from repro.errors import (
+    KSPError,
+    KSPTimeout,
+    ServerOverloadError,
+    UnreachableTargetError,
+    VertexError,
+)
+from repro.ksp.base import KSPResult, KSPStats
+from repro.ksp.optyen import OptYenKSP
+from repro.obs.tracer import get_tracer
+from repro.paths import Path
+
+__all__ = [
+    "COMPLETE",
+    "DEGRADED",
+    "PARTIAL",
+    "FAILED",
+    "OUTCOMES",
+    "RetryPolicy",
+    "ServeResult",
+    "QueryServer",
+]
+
+#: the full pipeline finished inside the budget (fewer than K paths only
+#: when the graph has fewer simple paths — that is a complete answer)
+COMPLETE = "complete"
+#: the OptYen fallback finished: results are exact, PeeK's stages were not
+DEGRADED = "degraded"
+#: enumeration was cut off mid-run: an exact, sorted prefix of the K list
+PARTIAL = "partial"
+#: no path could be produced (budget exhausted before the first path, the
+#: target is unreachable, or retries ran out)
+FAILED = "failed"
+
+OUTCOMES = (COMPLETE, DEGRADED, PARTIAL, FAILED)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient faults.
+
+    Attempt ``i`` (1-based) sleeps ``backoff_base * multiplier**(i-1)``
+    before retrying, up to ``max_attempts`` total attempts.  A retry is
+    skipped when the query's remaining budget would not cover the sleep.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.02
+    backoff_multiplier: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        return self.backoff_base * self.backoff_multiplier ** (attempt - 1)
+
+
+@dataclass
+class ServeResult:
+    """One served query: paths plus the outcome contract.
+
+    ``paths`` is always a (possibly empty) sorted list of exact shortest
+    paths — degraded and partial outcomes never contain approximate or
+    unordered entries (the sanitizer smoke test in CI audits this).
+    """
+
+    paths: list[Path]
+    k_requested: int
+    #: one of :data:`OUTCOMES`
+    outcome: str
+    #: which tier produced the paths: "peek" or "optyen" ("" when none)
+    tier: str
+    #: total attempts, including the successful one
+    attempts: int
+    #: wall-clock seconds spent serving, including backoff sleeps
+    elapsed: float
+    #: repr of the fault that forced degradation/failure (None when clean)
+    error: str | None = None
+    #: KSP-stage counters of the tier that produced the paths
+    stats: KSPStats = field(default_factory=KSPStats)
+
+    @property
+    def distances(self) -> list[float]:
+        return [p.distance for p in self.paths]
+
+    @property
+    def ok(self) -> bool:
+        """Whether any exact paths were served (everything but failed)."""
+        return self.outcome != FAILED
+
+
+class _Attempt:
+    """Outcome of one degradation-chain walk (internal)."""
+
+    __slots__ = ("paths", "outcome", "tier", "error", "stats")
+
+    def __init__(self, paths, outcome, tier, error, stats):
+        self.paths = paths
+        self.outcome = outcome
+        self.tier = tier
+        self.error = error
+        self.stats = stats
+
+
+def _is_transient(exc: BaseException) -> bool:
+    return bool(getattr(exc, "transient", False))
+
+
+class QueryServer:
+    """Deadline-aware KSP serving over a shared :class:`BatchPeeK`.
+
+    Parameters
+    ----------
+    graph:
+        The static graph every query runs against.
+    kernel, alpha, cache_size, use_workspace:
+        Forwarded to the underlying :class:`~repro.core.batch.BatchPeeK`.
+    default_timeout:
+        Per-query budget in seconds when :meth:`serve` is called without
+        one (``None`` = unbounded, matching library defaults).
+    retry:
+        The :class:`RetryPolicy` for transient faults.
+    max_in_flight:
+        Admission-control bound; query ``max_in_flight + 1`` is shed with
+        :class:`~repro.errors.ServerOverloadError` instead of queueing.
+    sanitize:
+        Audit every served result with the SAN-PATH battery
+        (:func:`repro.analysis.sanitize.check_result_paths`) — including
+        degraded and partial ones.  ``None`` defers to ``RPR_SANITIZE``.
+    sleep:
+        Injectable sleep for backoff (tests pass a recording fake).
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        kernel: str = "delta",
+        alpha: float = 0.1,
+        cache_size: int = 64,
+        use_workspace: bool = True,
+        default_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        max_in_flight: int = 64,
+        sanitize: bool | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.graph = graph
+        self.batch = BatchPeeK(
+            graph,
+            kernel=kernel,
+            cache_size=cache_size,
+            alpha=alpha,
+            use_workspace=use_workspace,
+        )
+        self.use_workspace = use_workspace
+        self.default_timeout = default_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.max_in_flight = max_in_flight
+        self._sanitize = sanitize
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        #: outcome name -> count, plus "shed" and "retries"
+        self.counters: dict[str, int] = {o: 0 for o in OUTCOMES}
+        self.counters["shed"] = 0
+        self.counters["retries"] = 0
+
+    # -- admission control ---------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Queries currently inside :meth:`serve`."""
+        with self._lock:
+            return self._in_flight
+
+    def _admit(self) -> None:
+        with self._lock:
+            if self._in_flight >= self.max_in_flight:
+                self.counters["shed"] += 1
+                get_tracer().add("serve.shed")
+                raise ServerOverloadError(
+                    f"{self._in_flight} queries in flight "
+                    f"(max_in_flight={self.max_in_flight}); query shed"
+                )
+            self._in_flight += 1
+
+    def _release(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    # -- the front door -------------------------------------------------
+    def serve(
+        self,
+        source: int,
+        target: int,
+        k: int,
+        *,
+        timeout: float | None = None,
+    ) -> ServeResult:
+        """Serve one query under a budget; never hangs, never raises on
+        timeout.
+
+        Invalid *requests* still raise immediately
+        (:class:`~repro.errors.VertexError` for out-of-range ids,
+        :class:`~repro.errors.KSPError` for ``source == target``,
+        ``ValueError`` for ``k < 1``) — those are caller bugs, not faults
+        to degrade around.  Overload raises
+        :class:`~repro.errors.ServerOverloadError` before any work.
+        Everything else yields a :class:`ServeResult` whose ``outcome``
+        states exactly what the paths are.
+        """
+        n = self.graph.num_vertices
+        if not 0 <= source < n or not 0 <= target < n:
+            raise VertexError(f"query ({source}, {target}) out of range")
+        if source == target:
+            raise KSPError("source and target must differ for a KSP query")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._admit()
+        try:
+            return self._serve(source, target, k, timeout)
+        finally:
+            self._release()
+
+    def _serve(self, source, target, k, timeout) -> ServeResult:
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = deadline_in(timeout)
+        tracer = get_tracer()
+        t0 = time.perf_counter()
+        with tracer.span(
+            "serve.query", source=source, target=target, k=k
+        ) as span:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    att = self._attempt(source, target, k, deadline)
+                    break
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    if not _is_transient(exc):
+                        raise
+                    backoff = self.retry.backoff(attempts)
+                    if (
+                        attempts >= self.retry.max_attempts
+                        or remaining(deadline) <= backoff
+                    ):
+                        att = _Attempt([], FAILED, "", exc, KSPStats())
+                        break
+                    self.counters["retries"] += 1
+                    tracer.add("serve.retries")
+                    self._sleep(backoff)
+            result = ServeResult(
+                paths=att.paths,
+                k_requested=k,
+                outcome=att.outcome,
+                tier=att.tier,
+                attempts=attempts,
+                elapsed=time.perf_counter() - t0,
+                error=repr(att.error) if att.error is not None else None,
+                stats=att.stats,
+            )
+            self._maybe_sanitize(result, source, target)
+            self.counters[att.outcome] += 1
+            if span.enabled:
+                span.attrs["outcome"] = att.outcome
+                span.attrs["tier"] = att.tier
+                span.attrs["attempts"] = attempts
+                tracer.add(f"serve.outcome.{att.outcome}")
+        return result
+
+    # -- the degradation chain ------------------------------------------
+    def _attempt(self, source, target, k, deadline) -> _Attempt:
+        """One walk down PeeK → plain OptYen → partial."""
+        # --- tier 1: the full batched PeeK pipeline ---
+        stage_error: BaseException
+        try:
+            checkpoint(deadline, "serve.attempt")
+            prep = self.batch.prepare(source, target, k, deadline=deadline)
+            paths, cut = self._enumerate(prep.inner, k, prep.map_paths)
+            if not cut:
+                return _Attempt(paths, COMPLETE, "peek", None, prep.inner.stats)
+            if paths:
+                return _Attempt(
+                    paths, PARTIAL, "peek", cut, prep.inner.stats
+                )
+            stage_error = cut  # budget died before the first path
+        except KSPTimeout as exc:
+            stage_error = exc  # prune or compact blew the budget
+        except UnreachableTargetError as exc:
+            stage_error = exc  # possibly a stage fault; tier 2 decides
+
+        # --- tier 2: plain OptYen on the original, unpruned graph ---
+        get_tracer().add("serve.degraded_attempts")
+        try:
+            fallback = OptYenKSP(
+                self.graph,
+                source,
+                target,
+                deadline=deadline,
+                use_workspace=self.use_workspace,
+            )
+            paths, cut = self._enumerate(fallback, k, None)
+            if not cut:
+                return _Attempt(
+                    paths, DEGRADED, "optyen", stage_error, fallback.stats
+                )
+            if paths:
+                return _Attempt(paths, PARTIAL, "optyen", cut, fallback.stats)
+            return _Attempt([], FAILED, "", cut, fallback.stats)
+        except UnreachableTargetError as exc:
+            # Confirmed by the unpruned graph: genuinely no s→t path.
+            return _Attempt([], FAILED, "", exc, KSPStats())
+        except KSPTimeout as exc:
+            return _Attempt([], FAILED, "", exc, KSPStats())
+
+    @staticmethod
+    def _enumerate(solver, k, map_paths):
+        """Drive ``solver.iter_paths`` collecting up to ``k`` paths.
+
+        Returns ``(paths, cut)`` where ``cut`` is the ``KSPTimeout`` that
+        interrupted enumeration, or ``None`` when it ran to completion
+        (K paths or exhaustion).  Paths collected before the cut are kept:
+        deviation enumeration yields in sorted order, so they are the
+        exact top-``len(paths)``.
+        """
+        paths: list[Path] = []
+        tracer = get_tracer()
+        with tracer.span("ksp", algorithm=solver.name, k=k) as span:
+            try:
+                for path in solver.iter_paths():
+                    paths.append(path)
+                    if len(paths) == k:
+                        break
+            except KSPTimeout as exc:
+                if map_paths is not None:
+                    paths = map_paths(paths)
+                return paths, exc
+            finally:
+                if span.enabled:
+                    solver._emit_obs(span)
+        if map_paths is not None:
+            paths = map_paths(paths)
+        return paths, None
+
+    def _maybe_sanitize(self, result: ServeResult, source, target) -> None:
+        sanitize = self._sanitize
+        if sanitize is None:
+            from repro.analysis.sanitize import sanitize_enabled_from_env
+
+            sanitize = sanitize_enabled_from_env()
+        if not sanitize or not result.paths:
+            return
+        from repro.analysis.sanitize import check_result_paths
+
+        audit = KSPResult(paths=result.paths, k_requested=result.k_requested)
+        check_result_paths(self.graph, audit, source, target)

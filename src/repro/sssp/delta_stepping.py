@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cancel import cancellation_active, checkpoint
 from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import get_tracer
@@ -103,6 +104,7 @@ def delta_stepping(
     delta: float | None = None,
     vertex_mask: np.ndarray | None = None,
     footprint_recorder=None,
+    deadline: float | None = None,
 ) -> SSSPResult:
     """Δ-stepping SSSP from ``source``.
 
@@ -122,6 +124,11 @@ def delta_stepping(
         as the gather → barrier → commit phase decomposition, which the
         race detector then audits.  Diagnostics only; adds Python-loop
         overhead per recorded step and changes no result.
+    deadline:
+        Absolute ``time.perf_counter()`` value after which the kernel
+        cooperatively raises :class:`~repro.errors.KSPTimeout`.  Checked
+        once per bucket phase (light inner step and heavy step), so the
+        overshoot is bounded by one vectorised relaxation batch.
 
     Notes
     -----
@@ -161,7 +168,11 @@ def delta_stepping(
             return np.ones(targets.size, dtype=bool)
         return vertex_mask[targets]
 
+    check_cancel = cancellation_active(deadline)
+
     while True:
+        if check_cancel:
+            checkpoint(deadline, "sssp.delta")
         pending = np.flatnonzero(needs)
         if pending.size == 0:
             break
@@ -172,6 +183,8 @@ def delta_stepping(
         frontier = pending[bucket_of_pending == i]
         # ---- light-edge inner loop: may reinsert into bucket i ----
         while frontier.size:
+            if check_cancel:
+                checkpoint(deadline, "sssp.delta")
             needs[frontier] = False
             in_r[frontier] = True
             edge_idx, edge_src = _expand_frontier(frontier, begins, ends)

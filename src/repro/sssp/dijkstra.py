@@ -26,6 +26,7 @@ from typing import Collection
 
 import numpy as np
 
+from repro.cancel import SETTLE_CHECK_INTERVAL, cancellation_active, checkpoint
 from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import get_tracer
@@ -45,6 +46,7 @@ def dijkstra(
     banned_edges: Collection[tuple[int, int]] | None = None,
     cutoff: float | None = None,
     workspace: SSSPWorkspace | None = None,
+    deadline: float | None = None,
 ) -> SSSPResult | WorkspaceResult:
     """Single-source shortest paths from ``source``.
 
@@ -75,6 +77,11 @@ def dijkstra(
         until the workspace's next query unless materialised.  Id-iterable
         ``banned_vertices`` are folded into the workspace's incremental
         mask; a ``bool[n]`` mask is honoured directly in either mode.
+    deadline:
+        Absolute ``time.perf_counter()`` value after which the kernel
+        cooperatively raises :class:`~repro.errors.KSPTimeout`, checked at
+        entry and once per settle batch
+        (:data:`repro.cancel.SETTLE_CHECK_INTERVAL` vertices).
 
     Returns
     -------
@@ -94,7 +101,7 @@ def dijkstra(
                 "SSSPWorkspace per graph"
             )
         return _dijkstra_workspace(
-            workspace, source, target, banned_vertices, banned_edges, cutoff
+            workspace, source, target, banned_vertices, banned_edges, cutoff, deadline
         )
 
     banned_mask: np.ndarray | None
@@ -123,6 +130,9 @@ def dijkstra(
 
     begins, ends, indices, weights, edge_mask = graph.adjacency_arrays()
     check_edges = bool(banned_edges)
+    check_cancel = cancellation_active(deadline)
+    if check_cancel:
+        checkpoint(deadline, "sssp.dijkstra")
 
     while heap:
         d, u = pop(heap)
@@ -130,6 +140,11 @@ def dijkstra(
             continue  # stale heap entry (lazy deletion)
         settled[u] = True
         stats.vertices_settled += 1
+        if (
+            check_cancel
+            and stats.vertices_settled & (SETTLE_CHECK_INTERVAL - 1) == 0
+        ):
+            checkpoint(deadline, "sssp.dijkstra")
         if u == target:
             break
         lo, hi = begins[u], ends[u]
@@ -173,6 +188,7 @@ def _dijkstra_workspace(
     banned_vertices,
     banned_edges,
     cutoff: float | None,
+    deadline: float | None,
 ) -> WorkspaceResult:
     """The epoch-stamped kernel: same labels, O(1) per-query setup."""
     # Resolve the banned-vertex input.  A caller-supplied bool mask is
@@ -204,6 +220,9 @@ def _dijkstra_workspace(
     tgt = -1 if target is None else int(target)
     check_edges = bool(banned_edges)
     check_ban = ban is not None
+    check_cancel = cancellation_active(deadline)
+    if check_cancel:
+        checkpoint(deadline, "sssp.dijkstra")
 
     dist[source] = 0.0
     parent[source] = source
@@ -222,6 +241,8 @@ def _dijkstra_workspace(
             continue  # stale heap entry (lazy deletion)
         sstamp[u] = ep
         settled_ct += 1
+        if check_cancel and settled_ct & (SETTLE_CHECK_INTERVAL - 1) == 0:
+            checkpoint(deadline, "sssp.dijkstra")
         if u == tgt:
             break
         lo, hi = begins[u], ends[u]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.batch import BatchPeeK
-from repro.core.peek import peek_ksp
+from repro.core.peek import PeeK, peek_ksp
 from repro.errors import UnreachableTargetError, VertexError
 from repro.graph.build import from_edge_list
 from repro.sssp.dijkstra import dijkstra
@@ -51,6 +51,54 @@ class TestCorrectness:
             BatchPeeK(medium_er, cache_size=0)
 
 
+class TestBitwiseEquivalence:
+    """BatchPeeK shares ``bound_and_masks`` with single-query PeeK, so the
+    two front ends must agree *bitwise* — exact float distances, identical
+    vertex tuples, identical pruning decision — not just approximately."""
+
+    @pytest.mark.parametrize("kernel", ["delta", "dijkstra"])
+    def test_query_bitwise_identical_to_peek(self, medium_er, kernel):
+        batch = BatchPeeK(medium_er, kernel=kernel)
+        for seed in range(4):
+            s, t = random_reachable_pair(medium_er, seed=seed)
+            ref = PeeK(medium_er, s, t, kernel=kernel).run(5)
+            got = batch.query(s, t, 5)
+            assert got.distances == ref.distances  # exact, no tolerance
+            assert [p.vertices for p in got.paths] == [
+                p.vertices for p in ref.paths
+            ]
+
+    def test_prune_decision_bitwise_identical(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=2)
+        batch = BatchPeeK(medium_er)
+        ref = PeeK(medium_er, s, t)
+        ref.prepare(5)
+        got = batch.prepare(s, t, 5).prune
+        assert got.bound == ref.prune_result.bound
+        assert np.array_equal(got.keep_vertices, ref.prune_result.keep_vertices)
+        assert np.array_equal(got.keep_edges, ref.prune_result.keep_edges)
+        assert np.array_equal(got.sp_sum, ref.prune_result.sp_sum)
+
+    def test_strong_edge_prune_equivalent(self, medium_er):
+        s, t = random_reachable_pair(medium_er, seed=3)
+        batch = BatchPeeK(medium_er, strong_edge_prune=True)
+        ref = PeeK(medium_er, s, t, strong_edge_prune=True).run(4)
+        got = batch.query(s, t, 4)
+        assert got.distances == ref.distances
+
+    def test_cached_halves_do_not_change_answers(self, medium_er):
+        """The same query through a warm cache is bitwise stable."""
+        batch = BatchPeeK(medium_er)
+        s, t = random_reachable_pair(medium_er, seed=1)
+        cold = batch.query(s, t, 5)
+        warm = batch.query(s, t, 5)
+        assert batch.cache_info["hits"] >= 2
+        assert warm.distances == cold.distances
+        assert [p.vertices for p in warm.paths] == [
+            p.vertices for p in cold.paths
+        ]
+
+
 class TestCaching:
     def test_shared_target_hits_reverse_cache(self, medium_er):
         batch = BatchPeeK(medium_er)
@@ -94,3 +142,63 @@ class TestCaching:
         batch.clear_cache()
         assert batch.cache_info["forward_cached"] == 0
         assert batch.cache_info["reverse_cached"] == 0
+
+
+class TestCombinedLRU:
+    """``cache_size`` bounds forward AND reverse results *combined* (each
+    is O(n) memory, so the combined count is the documented memory bound),
+    with one LRU order across the two directions."""
+
+    def test_cache_size_bounds_both_directions_together(self, medium_er):
+        batch = BatchPeeK(medium_er, cache_size=3)
+        for root in range(4):
+            batch.forward_sssp(root)
+            batch.reverse_sssp(root)
+        info = batch.cache_info
+        assert info["forward_cached"] + info["reverse_cached"] == 3
+
+    def test_eviction_order_is_lru_across_directions(self, medium_er):
+        batch = BatchPeeK(medium_er, cache_size=2)
+        batch.forward_sssp(0)  # cache: [fwd 0]
+        batch.reverse_sssp(1)  # cache: [fwd 0, rev 1]
+        batch.forward_sssp(0)  # touch fwd 0 → rev 1 is now LRU
+        batch.reverse_sssp(2)  # evicts rev 1, NOT the older-inserted fwd 0
+        assert batch.misses == 3
+        batch.forward_sssp(0)  # still cached
+        assert batch.cache_info["hits"] == 2
+        batch.reverse_sssp(1)  # was evicted: a fresh miss
+        assert batch.misses == 4
+
+    def test_same_root_is_distinct_per_direction(self, medium_er):
+        batch = BatchPeeK(medium_er)
+        batch.forward_sssp(5)
+        batch.reverse_sssp(5)  # same root, different direction: a miss
+        info = batch.cache_info
+        assert info == {
+            "hits": 0, "misses": 2, "forward_cached": 1, "reverse_cached": 1
+        }
+
+    def test_counters_under_interleaved_queries(self, medium_er):
+        batch = BatchPeeK(medium_er, cache_size=4)
+        pairs = [random_reachable_pair(medium_er, seed=sd) for sd in (1, 2)]
+        (s1, t1), (s2, t2) = pairs
+        batch.query(s1, t1, 3)  # 2 misses (fwd s1, rev t1)
+        batch.query(s2, t2, 3)  # 2 misses
+        batch.query(s1, t1, 3)  # 2 hits
+        batch.query(s2, t2, 3)  # 2 hits
+        info = batch.cache_info
+        assert info["hits"] == 4
+        assert info["misses"] == 4
+        assert info["forward_cached"] + info["reverse_cached"] == 4
+
+    def test_interleaved_eviction_keeps_answers_exact(self, medium_er):
+        """A thrashing cache (size 1) still returns bitwise-exact results."""
+        batch = BatchPeeK(medium_er, cache_size=1)
+        pairs = [random_reachable_pair(medium_er, seed=sd) for sd in (1, 2, 3)]
+        for s, t in pairs * 2:
+            got = batch.query(s, t, 3)
+            ref = peek_ksp(medium_er, s, t, 3)
+            assert got.distances == ref.distances
+        assert batch.cache_info["forward_cached"] + (
+            batch.cache_info["reverse_cached"]
+        ) == 1

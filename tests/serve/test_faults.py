@@ -1,0 +1,95 @@
+"""The deterministic fault-injection harness itself."""
+
+import pytest
+
+from repro.cancel import checkpoint, fault_scope, install_fault_hook
+from repro.errors import KSPTimeout, UnreachableTargetError
+from repro.serve.faults import FaultInjector, FaultRule, InjectedFault
+
+
+class TestFaultRule:
+    def test_exact_and_prefix_matching(self):
+        r = FaultRule("sssp")
+        assert r.matches("sssp")
+        assert r.matches("sssp.delta")
+        assert r.matches("sssp.dijkstra")
+        assert not r.matches("ssspx")
+        assert not r.matches("prune.scan")
+
+    @pytest.mark.parametrize(
+        "kind,exc",
+        [
+            ("timeout", KSPTimeout),
+            ("unreachable", UnreachableTargetError),
+            ("transient", InjectedFault),
+            ("fatal", InjectedFault),
+        ],
+    )
+    def test_error_kinds(self, kind, exc):
+        err = FaultRule("x", kind=kind).make_error("x")
+        assert isinstance(err, exc)
+
+    def test_transient_flag(self):
+        assert FaultRule("x", kind="transient").make_error("x").transient
+        assert not FaultRule("x", kind="fatal").make_error("x").transient
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", kind="wat").make_error("x")
+
+
+class TestFaultInjector:
+    def test_fires_at_nth_hit_only(self):
+        inj = FaultInjector([FaultRule("stage", at_hit=3)])
+        inj("stage")
+        inj("stage")
+        with pytest.raises(KSPTimeout):
+            inj("stage")
+        inj("stage")  # burnt out (times=1)
+        assert inj.fired == [("stage", "timeout")]
+        assert inj.hits == [4]
+
+    def test_times_fires_consecutively(self):
+        inj = FaultInjector([FaultRule("s", kind="transient", at_hit=1, times=2)])
+        with pytest.raises(InjectedFault):
+            inj("s")
+        with pytest.raises(InjectedFault):
+            inj("s")
+        inj("s")
+        assert len(inj.fired) == 2
+
+    def test_seed_is_deterministic(self):
+        mk = lambda: FaultInjector(
+            [FaultRule("s", at_hit=None, max_hit=10)], seed=42
+        )
+        assert mk().at_hits == mk().at_hits
+        assert 1 <= mk().at_hits[0] <= 10
+
+    def test_different_seeds_can_differ(self):
+        hits = {
+            FaultInjector(
+                [FaultRule("s", at_hit=None, max_hit=1000)], seed=seed
+            ).at_hits[0]
+            for seed in range(20)
+        }
+        assert len(hits) > 1
+
+    def test_installed_scopes_the_hook(self):
+        inj = FaultInjector([FaultRule("boom", at_hit=1)])
+        checkpoint(None, "boom")  # not installed: no fire
+        with inj.installed():
+            with pytest.raises(KSPTimeout):
+                checkpoint(None, "boom")
+        checkpoint(None, "boom")  # uninstalled again
+        assert inj.fired == [("boom", "timeout")]
+
+    def test_fault_scope_restores_previous_hook(self):
+        seen = []
+        prev = install_fault_hook(seen.append)
+        try:
+            with fault_scope(lambda stage: None):
+                checkpoint(None, "inner")
+            checkpoint(None, "outer")
+            assert seen == ["outer"]
+        finally:
+            install_fault_hook(prev)

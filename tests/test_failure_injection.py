@@ -123,3 +123,50 @@ class TestAdversarialWeights:
         assert np.allclose(
             peek_ksp(g, 0, t, 5).distances, yen_ksp(g, 0, t, 5).distances
         )
+
+
+class TestSourceEqualsTarget:
+    """One library-wide rule: ``source == target`` is a caller error.
+
+    Every entry point — solve(), each registry algorithm, PeeK, BatchPeeK,
+    the pruning stage, and the serving layer — raises :class:`KSPError`
+    (never a silent empty result, never a zero-length "path")."""
+
+    def test_solve_raises(self, diamond_graph):
+        import repro
+
+        with pytest.raises(KSPError):
+            repro.solve(diamond_graph, 2, 2, k=3)
+
+    @pytest.mark.parametrize("method", sorted(ALGORITHMS))
+    def test_every_algorithm_raises(self, diamond_graph, method):
+        with pytest.raises(KSPError):
+            make_algorithm(method, diamond_graph, 2, 2)
+
+    def test_peek_ksp_raises(self, diamond_graph):
+        with pytest.raises(KSPError):
+            peek_ksp(diamond_graph, 1, 1, 2)
+
+    def test_pruning_raises(self, diamond_graph):
+        with pytest.raises(KSPError):
+            k_upper_bound_prune(diamond_graph, 1, 1, 2)
+
+    def test_batch_peek_raises(self, diamond_graph):
+        from repro.core.batch import BatchPeeK
+
+        with pytest.raises(KSPError):
+            BatchPeeK(diamond_graph).query(3, 3, 2)
+
+    def test_query_server_raises(self, diamond_graph):
+        from repro.serve import QueryServer
+
+        with pytest.raises(KSPError):
+            QueryServer(diamond_graph).serve(0, 0, 2)
+
+    def test_vertex_error_wins_for_out_of_range(self, diamond_graph):
+        """(n, n) is out of range first, equal second: VertexError."""
+        import repro
+
+        n = diamond_graph.num_vertices
+        with pytest.raises(VertexError):
+            repro.solve(diamond_graph, n, n, k=2)
