@@ -1,0 +1,35 @@
+"""Beyond the paper — fault-tolerance overhead vs checkpoint interval.
+
+One seeded rank kill mid-SSSP on an 8-node distributed PeeK run, swept
+over checkpoint intervals for both recovery policies.  Every recovered
+run must be bitwise-identical to the failure-free baseline, and the
+report decomposes the extra simulated time into checkpoint / wasted /
+recovery units — the crossover between the policies is the interesting
+number (docs/parallel_model.md, "Fault tolerance").
+"""
+
+from repro.bench import experiments
+
+INTERVALS = (1, 2, 4, 8)
+
+
+def test_checkpoint_sweep(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: experiments.ft_checkpoint_sweep(
+            runner, k=8, nodes=8, intervals=INTERVALS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    assert len(report.rows) == 2 * len(INTERVALS)
+    # the headline property: every recovered run reproduced the baseline
+    assert all(row[-1] == "yes" for row in report.rows)
+    restart = {row[0]: row for row in report.rows if row[1] == "restart"}
+    recompute = {row[0]: row for row in report.rows if row[1] == "recompute"}
+    # restart pays checkpoints, and pays fewer of them at longer intervals
+    assert restart[1][2] > restart[INTERVALS[-1]][2] > 0
+    # recompute never writes a (charged) checkpoint
+    assert all(row[2] == 0 for row in recompute.values())
+    # both policies actually recovered something
+    assert all(row[4] > 0 for row in report.rows)

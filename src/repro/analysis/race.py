@@ -41,6 +41,7 @@ __all__ = [
     "Footprint",
     "RaceDetector",
     "DeltaSteppingFootprints",
+    "DistDeltaFootprints",
     "check_workload",
 ]
 
@@ -265,3 +266,46 @@ class DeltaSteppingFootprints:
     def check(self) -> list[Finding]:
         """Run the race detector over everything recorded so far."""
         return check_workload(self.as_workload())
+
+
+class DistDeltaFootprints:
+    """Declare distributed Δ-stepping's per-rank footprints as it runs.
+
+    Pass an instance as ``distributed_delta_stepping(...,
+    footprint_recorder=...)`` together with a ``SimComm(...,
+    race_detector=RaceDetector(num_ranks))``: the kernel calls
+    :meth:`gather` for each rank before routing (reads of the rank's own
+    frontier distances, clears of its own ``needs`` flags) and
+    :meth:`commit` after the ``alltoallv`` (owner-side reads of request
+    targets, writes of improved distances/parents).  The collectives are
+    the barriers — SimComm already joins the detector's clocks on every
+    one — so the shipped owner-routed decomposition must report **zero**
+    conflicts.
+
+    ``owner_routed=False`` declares the classic distributed-memory bug
+    instead: the *requesting* rank writes the target's distance directly,
+    as a shared-memory port naively would, which races between any two
+    ranks relaxing edges into the same vertex in one superstep.  The
+    detector must flag that (the synthetic-bug regression test).
+    """
+
+    def __init__(self, *, owner_routed: bool = True) -> None:
+        self.owner_routed = owner_routed
+
+    def gather(self, comm, rank: int, frontier, targets) -> None:
+        """Rank-local expansion: read own frontier, clear own flags."""
+        frontier = [int(u) for u in frontier]
+        comm.record_reads(rank, (("dist", u) for u in frontier))
+        comm.record_writes(rank, (("needs", u) for u in frontier))
+        if not self.owner_routed:
+            comm.record_writes(
+                rank, (("dist", int(v)) for v in targets)
+            )
+
+    def commit(self, comm, rank: int, targets, improved) -> None:
+        """Owner-side apply: read routed targets, write improvements."""
+        comm.record_reads(rank, (("dist", int(v)) for v in targets))
+        improved = [int(v) for v in improved]
+        comm.record_writes(rank, (("dist", v) for v in improved))
+        comm.record_writes(rank, (("parent", v) for v in improved))
+        comm.record_writes(rank, (("needs", v) for v in improved))

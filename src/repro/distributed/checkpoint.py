@@ -1,0 +1,95 @@
+"""In-memory, checksummed superstep checkpoints for the distributed runs.
+
+A checkpoint is one *coordinated* snapshot: every rank serialises its
+slice of the mutable algorithm state (tentative distances, parents,
+bucket membership, compaction status — whatever the algorithm hands the
+supervisor) and writes it, CRC-stamped, into the store.  The store keeps
+only the latest snapshot per rank — exactly what checkpoint/restart
+needs — and verifies the CRC on every load, so a corrupted checkpoint
+surfaces as a :class:`~repro.errors.SanitizerError` instead of silently
+restarting the job from garbage (the failure mode coordinated
+checkpointing is most embarrassed by).
+
+Payloads are opaque bytes at this layer; the
+:class:`~repro.distributed.supervisor.DistSupervisor` owns the
+(de)serialisation of NumPy slices and metadata.  Costs are *not* charged
+here — the supervisor charges checkpoint bytes through the
+:class:`~repro.distributed.comm.CommModel` so the BSP clock sees them.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import SanitizerError
+
+__all__ = ["CheckpointStore"]
+
+
+@dataclass
+class _Slot:
+    """One rank's latest checkpoint: tag, payload, and its CRC32 stamp."""
+
+    tag: int
+    payload: bytearray
+    crc: int
+
+
+class CheckpointStore:
+    """Latest-snapshot-per-rank storage with CRC32 integrity checking."""
+
+    def __init__(self) -> None:
+        self._slots: dict[int, _Slot] = {}
+        #: cumulative payload bytes accepted by :meth:`save_rank`
+        self.bytes_written = 0
+        #: :meth:`save_rank` calls across the store's lifetime
+        self.writes = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def ranks(self) -> list[int]:
+        return sorted(self._slots)
+
+    def save_rank(self, tag: int, rank: int, payload: bytes) -> int:
+        """Store ``rank``'s snapshot for checkpoint ``tag``; returns its size."""
+        blob = bytearray(payload)
+        self._slots[rank] = _Slot(tag=tag, payload=blob, crc=zlib.crc32(blob))
+        self.bytes_written += len(blob)
+        self.writes += 1
+        return len(blob)
+
+    def load_rank(self, rank: int) -> bytes:
+        """Return ``rank``'s latest snapshot, verifying its checksum.
+
+        Raises :class:`~repro.errors.SanitizerError` when the stored bytes
+        no longer match their CRC stamp (bit rot, a torn write, or the
+        test harness's deliberate :meth:`corrupt`), and ``KeyError`` when
+        the rank never checkpointed.
+        """
+        slot = self._slots[rank]
+        if zlib.crc32(slot.payload) != slot.crc:
+            raise SanitizerError(
+                f"checkpoint corruption: rank {rank} snapshot "
+                f"(tag {slot.tag}) fails its CRC32 check"
+            )
+        return bytes(slot.payload)
+
+    def latest_tag(self) -> int | None:
+        """Tag of the most recent coordinated checkpoint, if any."""
+        if not self._slots:
+            return None
+        return max(s.tag for s in self._slots.values())
+
+    def rank_bytes(self) -> list[int]:
+        """Per-rank payload sizes of the latest snapshot (rank order)."""
+        return [len(self._slots[r].payload) for r in self.ranks]
+
+    def corrupt(self, rank: int, offset: int = 0) -> None:
+        """Test hook: flip one byte of ``rank``'s stored snapshot."""
+        slot = self._slots[rank]
+        if not slot.payload:
+            raise ValueError(f"rank {rank} snapshot is empty")
+        slot.payload[offset % len(slot.payload)] ^= 0xFF

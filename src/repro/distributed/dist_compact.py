@@ -58,8 +58,12 @@ def distributed_regenerate(
         e_counts.append(int(live[elo:ehi].sum()))
         works.append((hi - lo) + (ehi - elo))
     comm.compute(works)
-    gathered_v = comm.allgather([np.int64(c) for c in v_counts])
-    gathered_e = comm.allgather([np.int64(c) for c in e_counts])
+    gathered_v = comm.allgather(
+        [np.int64(c) for c in v_counts], stage="dist.compact.counts"
+    )
+    gathered_e = comm.allgather(
+        [np.int64(c) for c in e_counts], stage="dist.compact.counts"
+    )
     v_base = np.concatenate(([0], np.cumsum(gathered_v)))
     e_base = np.concatenate(([0], np.cumsum(gathered_e)))
 
@@ -77,7 +81,8 @@ def distributed_regenerate(
         works.append(int(local_old.size) + 1)
     comm.compute(works)
     comm.allgather(
-        [np.empty(max(v_counts[j], 1), dtype=np.int64) for j in range(r)]
+        [np.empty(max(v_counts[j], 1), dtype=np.int64) for j in range(r)],
+        stage="dist.compact.map",
     )
 
     works = []
@@ -95,7 +100,9 @@ def distributed_regenerate(
         )
         works.append(int(e_idx.size) + 1)
     comm.compute(works)
-    comm.allgather([b[0] for b in blocks])  # the remnant edge blocks
+    comm.allgather(
+        [b[0] for b in blocks], stage="dist.compact.blocks"
+    )  # the remnant edge blocks
 
     new_src = np.concatenate([b[0] for b in blocks])
     new_dst = np.concatenate([b[1] for b in blocks])
@@ -141,5 +148,5 @@ def distributed_edge_swap_ends(
         )
         works.append((ehi - elo) + (hi - lo) + 1)
     comm.compute(works)
-    comm.barrier()
+    comm.barrier(stage="dist.compact.barrier")
     return ends

@@ -18,6 +18,18 @@ describes:
 Paths/distances are identical to serial PeeK (tested property); the
 returned :class:`~repro.distributed.comm.DistReport` carries the BSP time
 model that Figure 10's scaling/GTEPS curves are computed from.
+
+Fault tolerance: construct with ``fault_plan=`` (a
+:class:`~repro.distributed.comm.FaultPlan` of seeded rank kills) and
+``recovery=`` (a :class:`~repro.distributed.supervisor.RecoveryConfig`)
+and the run survives rank loss — each stage is a supervised recovery
+unit, the SSSPs checkpoint at bucket granularity, and the recovered
+result is bitwise-identical to the failure-free run while the report
+decomposes simulated time into compute + comm + checkpoint + recovery +
+wasted units.  ``run(k, deadline=...)`` additionally threads the
+cooperative-cancellation deadline through every stage (labels
+``dist.peek.{sssp,bound,compact,ksp}``), raising
+:class:`~repro.errors.KSPTimeout` exactly like ``repro.solve`` does.
 """
 
 from __future__ import annotations
@@ -28,12 +40,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cancel import cancellation_active, checkpoint
 from repro.core.peek import PeeK, PeeKResult
-from repro.distributed.comm import CommModel, DistReport, SimComm
+from repro.distributed.comm import CommModel, DistReport, FaultPlan, SimComm
 from repro.distributed.dist_sssp import distributed_delta_stepping
 from repro.distributed.partition import RowPartition
 from repro.distributed.sample_sort import distributed_sample_sort
-from repro.errors import UnreachableTargetError
+from repro.distributed.supervisor import RecoveryConfig
+from repro.errors import RankFailure, UnreachableTargetError
 
 __all__ = ["DistributedPeeK", "distributed_peek"]
 
@@ -51,6 +65,23 @@ class DistributedPeeKReport:
     def time_units(self) -> float:
         return self.comm.time_units + self.ksp_units
 
+    # fault-tolerance accounting, mirrored from the communicator's report
+    @property
+    def failures(self) -> int:
+        return self.comm.failures
+
+    @property
+    def checkpoint_units(self) -> float:
+        return self.comm.checkpoint_units
+
+    @property
+    def recovery_units(self) -> float:
+        return self.comm.recovery_units
+
+    @property
+    def wasted_units(self) -> float:
+        return self.comm.wasted_units
+
 
 class DistributedPeeK:
     """PeeK across ``num_nodes`` simulated computing nodes.
@@ -63,6 +94,12 @@ class DistributedPeeK:
         Computing nodes (the paper scales 1 → 64, 16 cores each).
     model:
         BSP cost parameters, including ``cores_per_node``.
+    fault_plan:
+        Optional seeded rank-kill schedule injected into the communicator.
+    recovery:
+        Optional :class:`~repro.distributed.supervisor.RecoveryConfig`;
+        without one, an injected rank failure propagates to the caller as
+        :class:`~repro.errors.RankFailure`.
     """
 
     def __init__(
@@ -74,6 +111,8 @@ class DistributedPeeK:
         *,
         model: CommModel | None = None,
         alpha: float = 0.1,
+        fault_plan: FaultPlan | None = None,
+        recovery: RecoveryConfig | None = None,
     ) -> None:
         self.graph = graph
         self.source = source
@@ -81,65 +120,141 @@ class DistributedPeeK:
         self.num_nodes = num_nodes
         self.model = model or CommModel()
         self.alpha = alpha
+        self.fault_plan = fault_plan
+        self.recovery = recovery
 
-    def run(self, k: int) -> DistributedPeeKReport:
-        comm = SimComm(self.num_nodes, self.model)
+    def run(self, k: int, *, deadline: float | None = None) -> DistributedPeeKReport:
+        comm = SimComm(self.num_nodes, self.model, fault_plan=self.fault_plan)
+        supervisor = (
+            self.recovery.supervisor(comm) if self.recovery is not None else None
+        )
+        check_cancel = cancellation_active(deadline)
         graph = self.graph
         n = graph.num_vertices
         r = self.num_nodes
 
+        def recovering(stage_fn):
+            """Run one pure stage, re-running it after a recovered failure.
+
+            Stages past the SSSPs compute from immutable inputs, so the
+            restore point (the forced stage-entry checkpoint) only needs
+            to rewind the accounting; the replay is the stage itself.
+            """
+            while True:
+                try:
+                    return stage_fn()
+                except RankFailure as failure:
+                    if supervisor is None:
+                        raise
+                    supervisor.recover(failure)
+
         # ---- stage 1: the two distributed SSSPs --------------------------
+        if check_cancel:
+            checkpoint(deadline, "dist.peek.sssp")
         fwd_part = RowPartition.build(graph, r)
-        fwd = distributed_delta_stepping(fwd_part, self.source, comm)
+        fwd = distributed_delta_stepping(
+            fwd_part, self.source, comm, deadline=deadline, supervisor=supervisor
+        )
         if not np.isfinite(fwd.dist[self.target]):
             raise UnreachableTargetError(
                 f"target {self.target} unreachable from {self.source}"
             )
+        if check_cancel:
+            checkpoint(deadline, "dist.peek.sssp")
         rev_part = RowPartition.build(graph.reverse(), r)
-        rev = distributed_delta_stepping(rev_part, self.target, comm)
+        rev = distributed_delta_stepping(
+            rev_part, self.target, comm, deadline=deadline, supervisor=supervisor
+        )
         edges_traversed = fwd.stats.edges_relaxed + rev.stats.edges_relaxed
 
-        # ---- stage 2: bound identification -------------------------------
-        # spSum is computed rank-local (each rank owns a vertex slice)
-        comm.compute([math.ceil(n / r)] * r)
-        sp_sum = fwd.dist + rev.dist
-        finite = sp_sum[np.isfinite(sp_sum)]
-        if finite.size >= r:
-            distributed_sample_sort(finite, comm)
-        # candidate window (a few K entries) to rank 0, scan, broadcast b —
-        # the scan itself is the serial PeeK code below; charge the gather
-        comm.allgather([np.empty(min(4 * k, max(finite.size, 1)))] * r)
-
-        # The actual prune/compact/KSP math is delegated to the serial PeeK
-        # implementation (identical results by construction); the charges
-        # below account for its distributed execution.
-        peek = PeeK(graph, self.source, self.target, alpha=self.alpha)
-        result = peek.run(k)
-        comm.bcast(float(result.prune.bound if result.prune else 0.0))
-
-        # ---- stage 3: per-rank compaction + allgather of the remnant -----
-        # Run the *real* distributed compaction kernels so the charged
-        # communication is actual traffic, and cross-check the remnant
-        # against the serial pipeline's.
-        comp = result.compaction
-        if comp is not None and result.prune is not None:
-            from repro.distributed.dist_compact import (
-                distributed_edge_swap_ends,
-                distributed_regenerate,
+        def stage_boundary(name: str) -> None:
+            """Commit a completed stage: the SSSP arrays are now immutable
+            inputs of everything downstream, so they are the state worth
+            checkpointing (forced — a restore never crosses a stage)."""
+            if supervisor is None:
+                return
+            supervisor.bind_partition(fwd_part)
+            supervisor.boundary(
+                {
+                    "fwd_dist": fwd.dist,
+                    "fwd_parent": fwd.parent,
+                    "rev_dist": rev.dist,
+                    "rev_parent": rev.parent,
+                },
+                meta={"stage": name},
+                force=True,
             )
 
-            pr = result.prune
-            if comp.is_regenerated:
-                regen = distributed_regenerate(
-                    fwd_part, pr.keep_vertices, pr.keep_edges, comm
-                )
-                assert regen.graph.num_edges == comp.remaining_edges
-            else:
-                distributed_edge_swap_ends(
-                    fwd_part, pr.keep_vertices, pr.keep_edges, comm
+        stage_boundary("bound")
+
+        # ---- stage 2: bound identification -------------------------------
+        if check_cancel:
+            checkpoint(deadline, "dist.peek.bound")
+
+        def bound_stage() -> PeeKResult:
+            # spSum is computed rank-local (each rank owns a vertex slice)
+            comm.compute([math.ceil(n / r)] * r)
+            sp_sum = fwd.dist + rev.dist
+            finite = sp_sum[np.isfinite(sp_sum)]
+            if finite.size >= r:
+                distributed_sample_sort(finite, comm)
+            # candidate window (a few K entries) to rank 0, scan, broadcast
+            # b — the scan itself is the serial PeeK code below; charge the
+            # gather
+            comm.allgather(
+                [np.empty(min(4 * k, max(finite.size, 1)))] * r,
+                stage="dist.bound.gather",
+            )
+
+            # The actual prune/compact/KSP math is delegated to the serial
+            # PeeK implementation (identical results by construction); the
+            # charges below account for its distributed execution.
+            peek = PeeK(
+                graph, self.source, self.target, alpha=self.alpha,
+                deadline=deadline,
+            )
+            res = peek.run(k)
+            comm.bcast(
+                float(res.prune.bound if res.prune else 0.0),
+                stage="dist.bound.bcast",
+            )
+            return res
+
+        result = recovering(bound_stage)
+        stage_boundary("compact")
+
+        # ---- stage 3: per-rank compaction + allgather of the remnant -----
+        if check_cancel:
+            checkpoint(deadline, "dist.peek.compact")
+
+        def compact_stage() -> None:
+            # Run the *real* distributed compaction kernels so the charged
+            # communication is actual traffic, and cross-check the remnant
+            # against the serial pipeline's.
+            comp = result.compaction
+            if comp is not None and result.prune is not None:
+                from repro.distributed.dist_compact import (
+                    distributed_edge_swap_ends,
+                    distributed_regenerate,
                 )
 
+                pr = result.prune
+                if comp.is_regenerated:
+                    regen = distributed_regenerate(
+                        fwd_part, pr.keep_vertices, pr.keep_edges, comm
+                    )
+                    assert regen.graph.num_edges == comp.remaining_edges
+                else:
+                    distributed_edge_swap_ends(
+                        fwd_part, pr.keep_vertices, pr.keep_edges, comm
+                    )
+
+        recovering(compact_stage)
+        stage_boundary("ksp")
+
         # ---- stage 4: two-level KSP over nodes × cores --------------------
+        if check_cancel:
+            checkpoint(deadline, "dist.peek.ksp")
         ksp_units = self._schedule_ksp(result)
 
         comm.report.serial_work += float(result.stats.total_work)
@@ -172,7 +287,16 @@ class DistributedPeeK:
 
 
 def distributed_peek(
-    graph, source: int, target: int, k: int, num_nodes: int, **kwargs
+    graph,
+    source: int,
+    target: int,
+    k: int,
+    num_nodes: int,
+    *,
+    deadline: float | None = None,
+    **kwargs,
 ) -> DistributedPeeKReport:
-    """Convenience wrapper: ``DistributedPeeK(...).run(k)``."""
-    return DistributedPeeK(graph, source, target, num_nodes, **kwargs).run(k)
+    """Convenience wrapper: ``DistributedPeeK(...).run(k, deadline=...)``."""
+    return DistributedPeeK(graph, source, target, num_nodes, **kwargs).run(
+        k, deadline=deadline
+    )

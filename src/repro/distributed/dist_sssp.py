@@ -11,15 +11,31 @@ Bucket advancement is agreed with an ``allreduce`` per step.
 Distances and parents are bit-identical to serial Δ-stepping/Dijkstra
 (tested property), and every message is accounted by the
 :class:`~repro.distributed.comm.SimComm` BSP model.
+
+Robustness hooks (all optional, all zero-cost when unused):
+
+* ``deadline=`` — each superstep passes a cooperative cancellation
+  checkpoint (stage ``"dist.sssp"``), so a distributed run observes its
+  budget like every single-process kernel does;
+* ``supervisor=`` — a :class:`~repro.distributed.supervisor.
+  DistSupervisor`: the mutable per-rank state (tentative distances,
+  parents, bucket membership) is checkpointed at bucket boundaries and a
+  :class:`~repro.errors.RankFailure` raised by a collective is recovered
+  in place, with results bitwise-identical to a failure-free run;
+* ``footprint_recorder=`` — a :class:`~repro.analysis.race.
+  DistDeltaFootprints`: declares each superstep's gather/route/commit
+  read/write sets to the communicator's race detector, with the
+  collectives acting as the barriers.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cancel import cancellation_active, checkpoint
 from repro.distributed.comm import SimComm
 from repro.distributed.partition import RowPartition
-from repro.errors import VertexError
+from repro.errors import RankFailure, VertexError
 from repro.paths import INF
 from repro.sssp.delta_stepping import _expand_frontier, _relax_batch, choose_delta
 from repro.sssp.result import SSSPResult, SSSPStats
@@ -54,7 +70,7 @@ def _route_requests(
         for j in range(r):
             sl = slice(bounds[j], bounds[j + 1])
             send[i][j] = (targets[sl], cands[sl], srcs[sl])
-    recv = comm.alltoallv(send)
+    recv = comm.alltoallv(send, stage="dist.sssp.route")
     merged: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     for j in range(r):
         ts = [blk[0] for blk in recv[j] if blk is not None and blk[0].size]
@@ -89,11 +105,16 @@ def distributed_delta_stepping(
     comm: SimComm,
     *,
     delta: float | None = None,
+    deadline: float | None = None,
+    supervisor=None,
+    footprint_recorder=None,
 ) -> SSSPResult:
     """Run Δ-stepping across the partition's ranks through ``comm``.
 
     Returns a standard :class:`~repro.sssp.result.SSSPResult`; the
     communication/compute accounting accumulates into ``comm.report``.
+    See the module docstring for ``deadline=`` / ``supervisor=`` /
+    ``footprint_recorder=``.
     """
     graph = partition.graph
     n = graph.num_vertices
@@ -113,6 +134,7 @@ def distributed_delta_stepping(
     needs = np.zeros(n, dtype=bool)
     needs[source] = True
     stats = SSSPStats()
+    check_cancel = cancellation_active(deadline)
 
     ranges = [partition.local_range(i) for i in range(r)]
 
@@ -134,16 +156,41 @@ def distributed_delta_stepping(
         cands = dist[edge_src] + weights[edge_idx]
         return (targets, cands, edge_src), int(edge_idx.size)
 
-    while True:
+    def apply_merged(merged) -> None:
+        """Owner ranks commit the routed relaxation requests."""
+        apply_works = []
+        for j in range(r):
+            targets, cands, srcs = merged[j]
+            if targets.size:
+                improved = _relax_batch(dist, parent, targets, cands, srcs)
+                needs[improved] = True
+            else:
+                improved = np.empty(0, dtype=np.int64)
+            if footprint_recorder is not None:
+                footprint_recorder.commit(comm, j, targets, improved)
+            apply_works.append(int(targets.size) + 1)
+        comm.compute(apply_works)
+
+    def run_bucket() -> bool:
+        """One outer bucket: light phases to fixpoint, then heavy edges.
+
+        Returns True when no bucket is pending anywhere (the run is done).
+        """
         # agree on the globally smallest pending bucket
-        i = comm.allreduce([local_pending_min_bucket(j) for j in range(r)], op=min)
+        i = comm.allreduce(
+            [local_pending_min_bucket(j) for j in range(r)],
+            op=min,
+            stage="dist.sssp.bucket",
+        )
         if i == INF:
-            break
+            return True
         i = int(i)
         lo_d, hi_d = i * delta, (i + 1) * delta
         in_r = np.zeros(n, dtype=bool)
 
         while True:
+            if check_cancel:
+                checkpoint(deadline, "dist.sssp")
             requests: list = []
             works: list[int] = []
             any_frontier = False
@@ -162,28 +209,24 @@ def distributed_delta_stepping(
                     req, w = expand(j, frontier, want_light=True)
                 else:
                     req, w = _empty_req(), 0
+                if footprint_recorder is not None:
+                    footprint_recorder.gather(comm, j, frontier, req[0])
                 requests.append(req)
                 works.append(w)
             if not any_frontier:
                 # the real code needs one allreduce to agree the light phase
                 # of bucket i has drained; charge it and move on
-                comm.allreduce([0] * r, op=max)
+                comm.allreduce([0] * r, op=max, stage="dist.sssp.drain")
                 break
             comm.compute([w + 1 for w in works])
             stats.edges_relaxed += sum(w for w in works)
             stats.phases += 1
             stats.phase_work.append(sum(works))
-            merged = _route_requests(comm, partition, requests)
-            apply_works = []
-            for j in range(r):
-                targets, cands, srcs = merged[j]
-                if targets.size:
-                    improved = _relax_batch(dist, parent, targets, cands, srcs)
-                    needs[improved] = True
-                apply_works.append(int(targets.size) + 1)
-            comm.compute(apply_works)
+            apply_merged(_route_requests(comm, partition, requests))
 
         # heavy edges of everything settled in bucket i
+        if check_cancel:
+            checkpoint(deadline, "dist.sssp")
         requests = []
         works = []
         for j in range(r):
@@ -194,20 +237,49 @@ def distributed_delta_stepping(
                 req, w = expand(j, settled_local, want_light=False)
             else:
                 req, w = _empty_req(), 0
+            if footprint_recorder is not None:
+                footprint_recorder.gather(comm, j, settled_local, req[0])
             requests.append(req)
             works.append(w)
         comm.compute([w + 1 for w in works])
         stats.edges_relaxed += sum(works)
         stats.phases += 1
         stats.phase_work.append(sum(works))
-        merged = _route_requests(comm, partition, requests)
-        apply_works = []
-        for j in range(r):
-            targets, cands, srcs = merged[j]
-            if targets.size:
-                improved = _relax_batch(dist, parent, targets, cands, srcs)
-                needs[improved] = True
-            apply_works.append(int(targets.size) + 1)
-        comm.compute(apply_works)
+        apply_merged(_route_requests(comm, partition, requests))
+        return False
+
+    if supervisor is not None:
+        supervisor.bind_partition(partition)
+    first_boundary = True
+    while True:
+        if supervisor is not None:
+            # a consistent BSP boundary: snapshot the mutable per-rank state
+            # (the entry boundary is forced so any restore inside this run
+            # finds a snapshot with this run's state schema)
+            supervisor.boundary(
+                {"dist": dist, "parent": parent, "needs": needs},
+                meta={
+                    "edges_relaxed": stats.edges_relaxed,
+                    "vertices_settled": stats.vertices_settled,
+                    "phases": stats.phases,
+                    "phase_work": list(stats.phase_work),
+                },
+                force=first_boundary,
+            )
+            first_boundary = False
+        try:
+            if run_bucket():
+                break
+        except RankFailure as failure:
+            if supervisor is None:
+                raise
+            arrays, meta = supervisor.recover(failure)
+            dist[:] = arrays["dist"]
+            parent[:] = arrays["parent"]
+            needs[:] = arrays["needs"]
+            stats.edges_relaxed = int(meta["edges_relaxed"])
+            stats.vertices_settled = int(meta["vertices_settled"])
+            stats.phases = int(meta["phases"])
+            stats.phase_work[:] = list(meta["phase_work"])
 
     return SSSPResult(source=source, dist=dist, parent=parent, stats=stats)

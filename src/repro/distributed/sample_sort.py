@@ -52,7 +52,7 @@ def distributed_sample_sort(
         samples.append(s[idx])
         works.append(int(b.size * max(np.log2(max(b.size, 2)), 1)))
     comm.compute(works)
-    gathered = comm.allgather(samples)
+    gathered = comm.allgather(samples, stage="dist.bound.sort.sample")
 
     # round 2: splitters on rank 0, broadcast
     all_samples = np.sort(np.concatenate(gathered), kind="stable")
@@ -60,7 +60,7 @@ def distributed_sample_sort(
         np.arange(1, r) * all_samples.size // r
     ] if r > 1 else np.empty(0)
     comm.compute([int(all_samples.size)] + [1] * (r - 1))
-    splitters = comm.bcast(splitters, root=0)
+    splitters = comm.bcast(splitters, root=0, stage="dist.bound.sort.splitters")
 
     # round 3: bucket exchange + local merges
     send: list[list[np.ndarray]] = []
@@ -68,7 +68,7 @@ def distributed_sample_sort(
         bounds = np.searchsorted(s, splitters, side="left")
         bounds = np.concatenate(([0], bounds, [s.size]))
         send.append([s[bounds[j] : bounds[j + 1]] for j in range(r)])
-    recv = comm.alltoallv(send)
+    recv = comm.alltoallv(send, stage="dist.bound.sort.exchange")
     out: list[np.ndarray] = []
     merge_works = []
     for j in range(r):

@@ -1,0 +1,275 @@
+"""Failure supervision for the distributed algorithms.
+
+The distributed kernels are BSP superstep machines; at every iteration
+boundary their mutable state is consistent across ranks.  The supervisor
+exploits that: algorithms call :meth:`DistSupervisor.boundary` with their
+rank-partitionable state at each such point, and when a collective raises
+:class:`~repro.errors.RankFailure` they call :meth:`DistSupervisor.
+recover` and resume from the returned restore point.  Two recovery
+policies are offered, chosen per run:
+
+``"restart"`` — coordinated checkpoint/restart.  Every
+    ``checkpoint_interval``-th boundary writes a CRC-stamped coordinated
+    snapshot into the :class:`~repro.distributed.checkpoint.
+    CheckpointStore` (bytes charged through the
+    :class:`~repro.distributed.comm.CommModel`); on failure **all** ranks
+    roll back to the last checkpoint and replay.  Wasted work is bounded
+    by the interval, recovery cost is one parallel snapshot read.
+
+``"recompute"`` — lost-work recompute (message-logging style).  No
+    charged checkpoints; every boundary keeps an *uncharged* shadow
+    snapshot — the simulation stand-in for the message logs a real
+    implementation replays.  On failure the replacement rank rebuilds its
+    partition, assigned immutably by :class:`~repro.distributed.
+    partition.RowPartition`, by solo-replaying its own history while the
+    survivors wait: recovery cost is the dead rank's cumulative compute
+    share plus re-delivery of its state bytes.  Wasted work is only the
+    torn superstep, but the replay bill grows with how far the job has
+    progressed — the crossover against ``"restart"`` is measured in
+    ``EXPERIMENTS.md``.
+
+Accounting is exact in both modes: charges since the restore point move
+into ``wasted_units`` (see :meth:`~repro.distributed.comm.SimComm.
+rollback`), recovery is charged to ``recovery_units``, and the headline
+property — tested across a grid of kill points — is that a recovered run
+returns **bitwise-identical** results to its failure-free twin while
+``DistReport.time_units`` decomposes into
+``compute + comm + checkpoint + recovery + wasted``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.checkpoint import CheckpointStore
+from repro.distributed.comm import SimComm
+from repro.errors import RankFailure, RecoveryExhaustedError
+from repro.obs.tracer import get_tracer
+
+__all__ = ["DistSupervisor", "RecoveryConfig", "RECOVERY_POLICIES"]
+
+RECOVERY_POLICIES = ("restart", "recompute")
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Per-run fault-tolerance settings (see module docstring).
+
+    ``checkpoint_interval`` counts supervisor boundaries (bucket
+    iterations for the SSSP, stages for distributed PeeK) between charged
+    checkpoints under the ``"restart"`` policy; the ``"recompute"``
+    policy ignores it.
+    """
+
+    policy: str = "restart"
+    checkpoint_interval: int = 1
+    max_recoveries: int = 2
+
+    def supervisor(
+        self, comm: SimComm, store: CheckpointStore | None = None
+    ) -> "DistSupervisor":
+        return DistSupervisor(
+            comm,
+            policy=self.policy,
+            checkpoint_interval=self.checkpoint_interval,
+            max_recoveries=self.max_recoveries,
+            store=store,
+        )
+
+
+class DistSupervisor:
+    """Checkpoint/restart ∨ lost-work-recompute recovery over one SimComm."""
+
+    def __init__(
+        self,
+        comm: SimComm,
+        *,
+        policy: str = "restart",
+        checkpoint_interval: int = 1,
+        max_recoveries: int = 2,
+        store: CheckpointStore | None = None,
+    ) -> None:
+        if policy not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"unknown recovery policy {policy!r} "
+                f"(choose from {RECOVERY_POLICIES})"
+            )
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        self.comm = comm
+        self.policy = policy
+        self.checkpoint_interval = checkpoint_interval
+        self.max_recoveries = max_recoveries
+        self.store = store if store is not None else CheckpointStore()
+        #: recoveries performed so far (gives up past ``max_recoveries``)
+        self.recoveries = 0
+        self._cuts: list[tuple[int, int]] | None = None
+        self._marker: dict | None = None
+        self._boundaries = 0
+        self._since_save = 0
+
+    # ------------------------------------------------------------------
+    def bind_partition(self, partition) -> None:
+        """Adopt ``partition``'s immutable rank → vertex-range assignment.
+
+        Saved state arrays are split along these ranges; algorithms call
+        this before their first :meth:`boundary` (and again when they
+        switch partitions, as distributed PeeK does between the forward
+        and reverse SSSPs).
+        """
+        self._cuts = [
+            partition.local_range(r) for r in range(partition.num_ranks)
+        ]
+
+    def boundary(
+        self,
+        arrays: dict[str, np.ndarray],
+        meta: dict | None = None,
+        *,
+        force: bool = False,
+    ) -> None:
+        """One consistent superstep/stage boundary.
+
+        ``arrays`` maps state names to full-length (vertex-indexed)
+        arrays; each rank snapshots its slice.  ``meta`` carries small
+        non-partitionable state (bucket index, stats counters) on rank 0.
+        ``force=True`` checkpoints regardless of the interval — used at
+        stage entries so a restore can never cross a state-schema change.
+        """
+        self._boundaries += 1
+        self._since_save += 1
+        save = (
+            force
+            or self._marker is None
+            or self.policy == "recompute"
+            or self._since_save >= self.checkpoint_interval
+        )
+        if not save:
+            return
+        rank_bytes = self._save(arrays, meta)
+        self._since_save = 0
+        self._marker = self.comm.marker()
+        if self.policy == "restart":
+            # recompute-mode shadows model message logs: payloads already
+            # crossed the wire as collectives, so nothing extra is charged
+            self.comm.charge_checkpoint(rank_bytes)
+
+    def recover(self, failure: RankFailure) -> tuple[dict[str, np.ndarray], dict]:
+        """Handle one rank failure; returns the restore-point state.
+
+        Rolls accounting back to the restore point (the discarded charges
+        become ``wasted_units``), charges the policy's recovery cost,
+        revives the rank, and returns ``(arrays, meta)`` reassembled from
+        the checksum-verified snapshots.  Raises
+        :class:`~repro.errors.RecoveryExhaustedError` once
+        ``max_recoveries`` is spent and
+        :class:`~repro.errors.SanitizerError` on checkpoint corruption.
+        """
+        if self._marker is None:
+            raise failure  # nothing to restore from — propagate
+        self.recoveries += 1
+        if self.recoveries > self.max_recoveries:
+            raise RecoveryExhaustedError(
+                failure.rank, self.recoveries, self.max_recoveries
+            )
+        comm = self.comm
+        model = comm.model
+        tracer = get_tracer()
+        with tracer.span(
+            "dist.recover",
+            rank=failure.rank,
+            stage=failure.stage,
+            policy=self.policy,
+        ):
+            per_rank_compute = self._marker["per_rank_compute"]
+            wasted = comm.rollback(self._marker)
+            rank_bytes = self.store.rank_bytes()
+            if self.policy == "restart":
+                # every rank reads its snapshot back in parallel, plus one
+                # round of coordination to agree on the restart point
+                units = (
+                    model.latency
+                    + model.per_byte * (max(rank_bytes) if rank_bytes else 0)
+                    + model.per_message * (comm.num_ranks - 1)
+                )
+            else:
+                # the replacement solo-replays the dead rank's history
+                # (survivors wait), then re-receives its state bytes
+                dead_bytes = (
+                    rank_bytes[failure.rank]
+                    if failure.rank < len(rank_bytes)
+                    else 0
+                )
+                dead_compute = (
+                    per_rank_compute[failure.rank]
+                    if failure.rank < len(per_rank_compute)
+                    else 0.0
+                )
+                units = (
+                    dead_compute + model.latency + model.per_byte * dead_bytes
+                )
+            comm.charge_recovery(units)
+            comm.report.failures += 1
+            comm.revive(failure.rank)
+            if tracer.enabled:
+                tracer.add("dist.failures")
+                tracer.add("dist.wasted_units", wasted)
+                tracer.add("dist.recovery_units", units)
+            return self._load()
+
+    # ------------------------------------------------------------------
+    def _split(self, n: int) -> list[tuple[int, int]]:
+        if self._cuts is not None:
+            return self._cuts
+        # no partition bound: fall back to near-equal contiguous slices
+        edges = np.linspace(0, n, self.comm.num_ranks + 1).astype(np.int64)
+        return [
+            (int(edges[r]), int(edges[r + 1]))
+            for r in range(self.comm.num_ranks)
+        ]
+
+    def _save(
+        self, arrays: dict[str, np.ndarray], meta: dict | None
+    ) -> list[int]:
+        n = next((a.shape[0] for a in arrays.values()), 0)
+        cuts = self._split(n)
+        for name, arr in arrays.items():
+            if arr.shape[0] != n:
+                raise ValueError(
+                    f"state array {name!r} has length {arr.shape[0]}, "
+                    f"expected {n}"
+                )
+        tag = self._boundaries
+        rank_bytes = []
+        for rank, (lo, hi) in enumerate(cuts):
+            payload = pickle.dumps(
+                {
+                    "arrays": {
+                        name: arr[lo:hi].copy() for name, arr in arrays.items()
+                    },
+                    "meta": meta if rank == 0 else None,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            rank_bytes.append(self.store.save_rank(tag, rank, payload))
+        return rank_bytes
+
+    def _load(self) -> tuple[dict[str, np.ndarray], dict]:
+        parts: list[dict] = [
+            pickle.loads(self.store.load_rank(rank))
+            for rank in range(self.comm.num_ranks)
+        ]
+        meta = parts[0]["meta"] or {}
+        names = parts[0]["arrays"].keys()
+        arrays = {
+            name: (
+                np.concatenate([p["arrays"][name] for p in parts])
+                if parts
+                else np.empty(0)
+            )
+            for name in names
+        }
+        return arrays, meta

@@ -64,6 +64,46 @@ class CommError(ReproError):
     """Misuse of the simulated MPI communicator (bad rank, tag reuse...)."""
 
 
+class RankFailure(ReproError):
+    """A simulated computing node died mid-job (see ``docs/parallel_model.md``).
+
+    Mirrors how MPI programs actually observe node loss: the failure
+    surfaces at the next *collective* the dead rank participates in, not
+    at the instant of death.  Raised by
+    :class:`~repro.distributed.comm.SimComm` when a
+    :class:`~repro.distributed.comm.FaultPlan` has killed a rank; caught
+    and recovered by :class:`~repro.distributed.supervisor.DistSupervisor`
+    (or propagated to the caller when no supervisor is attached).
+    """
+
+    def __init__(
+        self, rank: int, *, stage: str = "", superstep: int | None = None
+    ) -> None:
+        where = f" during {stage!r}" if stage else ""
+        at = f" (superstep {superstep})" if superstep is not None else ""
+        super().__init__(f"rank {rank} failed{where}{at}")
+        self.rank = rank
+        self.stage = stage
+        self.superstep = superstep
+
+
+class RecoveryExhaustedError(ReproError):
+    """The distributed supervisor gave up: too many rank failures.
+
+    Carries the rank whose failure exceeded ``max_recoveries`` and the
+    recovery count — the partial-outcome record of an abandoned job.
+    """
+
+    def __init__(self, rank: int, recoveries: int, max_recoveries: int) -> None:
+        super().__init__(
+            f"giving up after {recoveries} recoveries "
+            f"(max_recoveries={max_recoveries}): rank {rank} failed again"
+        )
+        self.rank = rank
+        self.recoveries = recoveries
+        self.max_recoveries = max_recoveries
+
+
 class SanitizerError(ReproError):
     """A runtime sanitizer check failed (see :mod:`repro.analysis.sanitize`).
 

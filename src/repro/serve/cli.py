@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.serve.faults import FaultInjector, FaultRule
+from repro.serve.faults import FAULT_KINDS, FaultInjector, FaultRule, parse_fault_spec
 from repro.serve.server import OUTCOMES, QueryServer
 
 __all__ = ["main"]
@@ -52,19 +52,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject",
         action="append",
         default=[],
-        metavar="STAGE:KIND[:AT_HIT]",
-        help="fault rule, e.g. prune.scan:timeout or sssp:transient:3 "
-        "(kinds: timeout, unreachable, transient, fatal); repeatable",
+        metavar="STAGE:KIND[:AT_HIT][@RANK]",
+        help="fault rule, e.g. prune.scan:timeout, sssp:transient:3 or "
+        "dist.sssp.route:rankfail:5@2 "
+        f"(kinds: {', '.join(FAULT_KINDS)}); repeatable",
     )
     return p
 
 
 def _parse_rule(spec: str) -> FaultRule:
-    parts = spec.split(":")
-    if len(parts) not in (2, 3):
-        raise SystemExit(f"bad --inject spec {spec!r} (want STAGE:KIND[:AT_HIT])")
-    at_hit = int(parts[2]) if len(parts) == 3 else None
-    return FaultRule(stage=parts[0], kind=parts[1], at_hit=at_hit)
+    try:
+        return parse_fault_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(f"bad --inject spec: {exc}") from exc
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -33,9 +33,20 @@ import random
 from dataclasses import dataclass
 
 from repro.cancel import fault_scope
-from repro.errors import KSPTimeout, ReproError, UnreachableTargetError
+from repro.errors import (
+    KSPTimeout,
+    RankFailure,
+    ReproError,
+    UnreachableTargetError,
+)
 
-__all__ = ["InjectedFault", "FaultRule", "FaultInjector"]
+__all__ = [
+    "InjectedFault",
+    "FaultRule",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "parse_fault_spec",
+]
 
 
 class InjectedFault(ReproError):
@@ -75,6 +86,12 @@ class FaultRule:
         bounded number of retries before the stage recovers).
     max_hit:
         Upper bound for the seeded draw when ``at_hit`` is ``None``.
+    rank:
+        Scope the rule to one simulated MPI rank.  Only meaningful for the
+        distributed substrate (``kind="rankfail"`` kills that rank; see
+        :class:`~repro.distributed.comm.FaultPlan`); ``None`` means
+        unscoped — a ``rankfail`` rule then draws its victim from the
+        plan's seeded RNG.
     """
 
     stage: str
@@ -82,6 +99,7 @@ class FaultRule:
     at_hit: int | None = 1
     times: int = 1
     max_hit: int = 4
+    rank: int | None = None
 
     def matches(self, stage: str) -> bool:
         return stage == self.stage or stage.startswith(self.stage + ".")
@@ -97,6 +115,8 @@ class FaultRule:
             return InjectedFault(stage, transient=True)
         if self.kind == "fatal":
             return InjectedFault(stage, transient=False)
+        if self.kind == "rankfail":
+            return RankFailure(self.rank or 0, stage=stage)
         raise ValueError(f"unknown fault kind {self.kind!r}")
 
 
@@ -139,3 +159,43 @@ class FaultInjector:
     def installed(self):
         """Context manager installing this injector as the fault hook."""
         return fault_scope(self)
+
+
+#: every fault kind a rule spec may name
+FAULT_KINDS = ("timeout", "unreachable", "transient", "fatal", "rankfail")
+
+
+def parse_fault_spec(spec: str) -> FaultRule:
+    """Parse the CLI rule grammar ``STAGE:KIND[:AT_HIT][@RANK]``.
+
+    The ``@RANK`` suffix scopes the rule to one simulated MPI rank (see
+    :class:`FaultRule.rank`); omitting ``AT_HIT`` leaves the firing visit
+    to the seeded draw.  Shared by ``peek-serve --inject`` and
+    :meth:`~repro.distributed.comm.FaultPlan.from_specs`.  Raises
+    ``ValueError`` on malformed specs.
+    """
+    body, sep, rank_part = spec.partition("@")
+    rank: int | None = None
+    if sep:
+        try:
+            rank = int(rank_part)
+        except ValueError:
+            raise ValueError(f"bad rank in fault spec {spec!r}") from None
+        if rank < 0:
+            raise ValueError(f"negative rank in fault spec {spec!r}")
+    parts = body.split(":")
+    if len(parts) not in (2, 3) or not parts[0]:
+        raise ValueError(
+            f"bad fault spec {spec!r} (want STAGE:KIND[:AT_HIT][@RANK])"
+        )
+    if parts[1] not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {parts[1]!r} (kinds: {', '.join(FAULT_KINDS)})"
+        )
+    at_hit: int | None = None
+    if len(parts) == 3:
+        try:
+            at_hit = int(parts[2])
+        except ValueError:
+            raise ValueError(f"bad AT_HIT in fault spec {spec!r}") from None
+    return FaultRule(stage=parts[0], kind=parts[1], at_hit=at_hit, rank=rank)

@@ -97,5 +97,5 @@ class TestReports:
     def test_registry_complete(self):
         assert set(experiments.ALL_EXPERIMENTS) == {
             "fig01", "fig04", "fig06", "fig08", "fig09", "fig10",
-            "fig11", "fig12", "table2", "table3",
+            "fig11", "fig12", "table2", "table3", "ftsweep",
         }

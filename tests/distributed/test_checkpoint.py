@@ -1,0 +1,73 @@
+"""CheckpointStore: roundtrip, tagging, and checksum enforcement."""
+
+import pytest
+
+from repro.distributed.checkpoint import CheckpointStore
+from repro.errors import SanitizerError
+
+
+class TestRoundtrip:
+    def test_save_load(self):
+        store = CheckpointStore()
+        store.save_rank(1, 0, b"hello")
+        store.save_rank(1, 1, b"world!")
+        assert store.load_rank(0) == b"hello"
+        assert store.load_rank(1) == b"world!"
+
+    def test_latest_snapshot_wins(self):
+        store = CheckpointStore()
+        store.save_rank(1, 0, b"old")
+        store.save_rank(2, 0, b"new")
+        assert store.load_rank(0) == b"new"
+        assert store.latest_tag() == 2
+
+    def test_missing_rank_is_keyerror(self):
+        store = CheckpointStore()
+        with pytest.raises(KeyError):
+            store.load_rank(3)
+
+    def test_empty_payload(self):
+        store = CheckpointStore()
+        store.save_rank(1, 0, b"")
+        assert store.load_rank(0) == b""
+
+
+class TestAccounting:
+    def test_counters(self):
+        store = CheckpointStore()
+        store.save_rank(1, 0, b"xxxx")
+        store.save_rank(1, 1, b"yy")
+        assert store.writes == 2
+        assert store.bytes_written == 6
+        assert store.rank_bytes() == [4, 2]
+        assert sorted(store.ranks) == [0, 1]
+        assert len(store) == 2
+
+    def test_save_returns_size(self):
+        store = CheckpointStore()
+        assert store.save_rank(1, 0, b"abc") == 3
+
+
+class TestChecksum:
+    def test_corruption_raises_sanitizer_error(self):
+        store = CheckpointStore()
+        store.save_rank(7, 2, b"payload bytes")
+        store.corrupt(2, offset=4)
+        with pytest.raises(SanitizerError, match="rank 2.*tag 7.*CRC32"):
+            store.load_rank(2)
+
+    def test_corruption_is_per_rank(self):
+        store = CheckpointStore()
+        store.save_rank(1, 0, b"aaaa")
+        store.save_rank(1, 1, b"bbbb")
+        store.corrupt(1)
+        assert store.load_rank(0) == b"aaaa"  # untouched rank still loads
+        with pytest.raises(SanitizerError):
+            store.load_rank(1)
+
+    def test_resave_clears_corruption(self):
+        store = CheckpointStore()
+        store.save_rank(1, 0, b"data")
+        store.corrupt(0)
+        store.save_rank(2, 0, b"data")
+        assert store.load_rank(0) == b"data"

@@ -3,8 +3,13 @@
 import pytest
 
 from repro.cancel import checkpoint, fault_scope, install_fault_hook
-from repro.errors import KSPTimeout, UnreachableTargetError
-from repro.serve.faults import FaultInjector, FaultRule, InjectedFault
+from repro.errors import KSPTimeout, RankFailure, UnreachableTargetError
+from repro.serve.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    parse_fault_spec,
+)
 
 
 class TestFaultRule:
@@ -36,6 +41,50 @@ class TestFaultRule:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
             FaultRule("x", kind="wat").make_error("x")
+
+    def test_rankfail_kind(self):
+        err = FaultRule("dist.sssp", kind="rankfail", rank=2).make_error(
+            "dist.sssp.route"
+        )
+        assert isinstance(err, RankFailure)
+        assert err.rank == 2
+
+
+class TestParseFaultSpec:
+    def test_minimal(self):
+        r = parse_fault_spec("prune.scan:timeout")
+        assert (r.stage, r.kind, r.at_hit, r.rank) == (
+            "prune.scan", "timeout", None, None,
+        )
+
+    def test_with_at_hit(self):
+        r = parse_fault_spec("sssp:transient:3")
+        assert (r.kind, r.at_hit) == ("transient", 3)
+
+    def test_with_rank(self):
+        r = parse_fault_spec("dist.sssp.route:rankfail@2")
+        assert (r.stage, r.kind, r.at_hit, r.rank) == (
+            "dist.sssp.route", "rankfail", None, 2,
+        )
+
+    def test_full(self):
+        r = parse_fault_spec("dist.sssp:rankfail:5@1")
+        assert (r.at_hit, r.rank) == (5, 1)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "stageonly",
+            "s:wat",
+            "s:timeout:notanint",
+            "s:timeout@notanint",
+            "s:timeout:1:2",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)
 
 
 class TestFaultInjector:
