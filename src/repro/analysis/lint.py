@@ -82,7 +82,8 @@ RULES: dict[str, LintRule] = {
         LintRule(
             "RPR003",
             "no O(n) numpy allocations inside loops on the KSP/SSSP hot path",
-            "repro/ksp/ and repro/sssp/ (workspace.py exempt)",
+            "repro/ksp/, repro/sssp/ (workspace.py exempt), and "
+            "repro/parallel/mp_backend.py",
         ),
         LintRule(
             "RPR004",
@@ -195,8 +196,8 @@ class _Checker(ast.NodeVisitor):
         self.check_002 = not module.startswith("repro/obs/")
         self.check_003 = (
             module.startswith(("repro/ksp/", "repro/sssp/"))
-            and not module.endswith("workspace.py")
-        )
+            or module == "repro/parallel/mp_backend.py"
+        ) and not module.endswith("workspace.py")
         self.check_005 = module.startswith("repro/ksp/") or module == "repro/core/peek.py"
 
     # ------------------------------------------------------------------

@@ -226,6 +226,7 @@ def k_upper_bound_prune(
     k: int,
     *,
     kernel: str = "delta",
+    sssp_backend: str = "vectorized",
     strong_edge_prune: bool = False,
     deadline: float | None = None,
 ) -> PruneResult:
@@ -236,6 +237,12 @@ def k_upper_bound_prune(
     kernel:
         ``"delta"`` (paper's choice; emits the parallel phase log) or
         ``"dijkstra"`` (faster serially on small remaining graphs).
+    sssp_backend:
+        Execution backend for the Δ-stepping kernel (``"scalar"``,
+        ``"vectorized"``, or ``"mp"``; see
+        :func:`~repro.sssp.delta_stepping.delta_stepping`).  All backends
+        are bitwise-equivalent, so this is purely a performance knob.
+        Ignored when ``kernel="dijkstra"``.
     strong_edge_prune:
         Library extension beyond the paper's weight rule: additionally drop
         every edge ``(u, v)`` with ``spSrc[u] + w + spTgt[v] > b`` — the
@@ -268,8 +275,12 @@ def k_upper_bound_prune(
 
     # ---- Step 1: the two SSSPs -------------------------------------------
     if kernel == "delta":
-        fwd = delta_stepping(graph, source, deadline=deadline)
-        rev = delta_stepping(graph.reverse(), target, deadline=deadline)
+        fwd = delta_stepping(
+            graph, source, deadline=deadline, backend=sssp_backend
+        )
+        rev = delta_stepping(
+            graph.reverse(), target, deadline=deadline, backend=sssp_backend
+        )
         stats.sssp_phase_work = list(fwd.stats.phase_work) + list(
             rev.stats.phase_work
         )

@@ -48,7 +48,7 @@ class CSRGraph:
         construct guaranteed-valid CSRs (e.g. regeneration compaction).
     """
 
-    __slots__ = ("indptr", "indices", "weights", "_reverse", "_edge_index")
+    __slots__ = ("indptr", "indices", "weights", "_reverse", "_edge_index", "_split")
 
     def __init__(
         self,
@@ -63,6 +63,7 @@ class CSRGraph:
         self.weights = np.ascontiguousarray(weights, dtype=np.float64)
         self._reverse: "CSRGraph | None" = None
         self._edge_index: dict[tuple[int, int], float] | None = None
+        self._split: tuple | None = None
         if check:
             self._validate()
 
@@ -200,6 +201,46 @@ class CSRGraph:
         return np.repeat(
             np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
         )
+
+    def light_heavy_split(
+        self, delta: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Light-first edge permutation for Δ-stepping.  Cached.
+
+        Returns ``(begins, light_ends, ends, indices, weights)`` over a
+        *permuted copy* of the edge arrays in which vertex ``v``'s light
+        out-edges (weight ≤ Δ) occupy ``[begins[v], light_ends[v])`` and its
+        heavy edges ``[light_ends[v], ends[v])``.  Range slicing replaces
+        the per-batch boolean ``weights <= delta`` filter in the kernel's
+        inner loop.
+
+        Only the most recent Δ is retained: a PeeK query runs its forward
+        and reverse SSSP at one Δ each (the reverse graph carries its own
+        cache), and a Δ-sweep touches each value once anyway.  The graph's
+        own ``indptr``/``indices``/``weights`` are never mutated (RPR001);
+        the permuted arrays are private copies.
+        """
+        delta = float(delta)
+        cached = self._split
+        if cached is not None and cached[0] == delta:
+            return cached[1:]
+        heavy = self.weights > delta
+        src = self.edge_sources()
+        # stable two-key sort: group by source, light edges first, CSR order
+        # preserved inside each (source, class) run
+        perm = np.lexsort((heavy, src))
+        begins = self.indptr[:-1]
+        light_counts = np.bincount(src[~heavy], minlength=self.num_vertices)
+        light_ends = begins + light_counts
+        self._split = (
+            delta,
+            begins,
+            light_ends,
+            self.indptr[1:],
+            self.indices[perm],
+            self.weights[perm],
+        )
+        return self._split[1:]
 
     # ------------------------------------------------------------------
     # derived graphs

@@ -13,6 +13,13 @@ scheduler replays that structure for any thread count, charging
 synchronisation and load-imbalance costs.  Simulated times are anchored to
 real measured serial seconds via :func:`repro.parallel.metrics.calibrate`.
 See DESIGN.md §1 for the substitution rationale.
+
+Beside the simulator there is now one *real* execution backend:
+:mod:`repro.parallel.mp_backend` runs Δ-stepping's frontier relaxation
+across worker processes over ``multiprocessing.shared_memory`` arrays
+(``delta_stepping(..., backend="mp")``), bitwise-identical to the serial
+kernel for any worker count.  It needs real cores to show speedup; the
+simulator remains the instrument for the paper's 32-thread curves.
 """
 
 from repro.parallel.workload import (
@@ -28,6 +35,7 @@ from repro.parallel.workload import (
 )
 from repro.parallel.scheduler import MachineModel, SimReport, simulate
 from repro.parallel.metrics import calibrate, gteps, speedup_curve
+from repro.parallel.mp_backend import SharedMemoryDeltaExecutor
 
 __all__ = [
     "JobKind",
@@ -41,6 +49,7 @@ __all__ = [
     "baseline_ksp_workload",
     "MachineModel",
     "SimReport",
+    "SharedMemoryDeltaExecutor",
     "simulate",
     "calibrate",
     "gteps",

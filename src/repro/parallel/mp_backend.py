@@ -1,0 +1,332 @@
+"""Real-core shared-memory execution backend for Δ-stepping.
+
+The cost-model simulator (:mod:`repro.parallel.scheduler`) *replays*
+recorded work decompositions for hypothetical thread counts; this module is
+the second execution backend the roadmap calls for: it actually runs the
+frontier expansion of every bucket step across worker **processes**, with
+the graph's split edge arrays and the ``dist``/``parent``/frontier state in
+``multiprocessing.shared_memory`` blocks so nothing is pickled per phase.
+
+Structure of one relaxation step (the gather → relax → commit decomposition
+:class:`repro.analysis.race.MPBackendFootprints` declares):
+
+* **gather** — the master writes the frontier into the shared frontier
+  array and hands each worker a contiguous ``[lo, hi)`` chunk of it;
+* **relax** — each worker expands its chunk's light or heavy edge ranges
+  (reading the shared ``dist`` array, which no one writes during the
+  phase) and emits ``(target, candidate, source)`` triples into its own
+  private output region — no shared writes at all;
+* **commit** — the master concatenates the chunks *in worker order* (which
+  restores frontier order, making the batch independent of the worker
+  count) and applies the single-writer
+  :func:`~repro.sssp.delta_stepping._relax_batch` reduction.
+
+Master-only commit keeps the backend race-free by construction and —
+because the reassembled batch is byte-for-byte the one the vectorized
+backend builds — bitwise-identical to the other backends for *any* number
+of workers.  The trade-off is that the reduction stays serial; workers
+parallelise the expansion and candidate arithmetic, which NumPy runs
+GIL-free.  Speedup therefore needs real cores: on a single-CPU host the
+backend degrades to the vectorized kernel plus IPC overhead (the bench
+records ``cpu_count`` next to its timings for exactly this reason).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import KSPError
+from repro.paths import INF
+
+__all__ = ["SharedMemoryDeltaExecutor"]
+
+
+def _attach(name: str, size: int, dtype) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray((size,), dtype=dtype, buffer=shm.buf)
+
+
+def _worker_main(spec: dict, task_q, done_q) -> None:
+    """Worker loop: expand assigned frontier chunks until told to stop."""
+    handles = []
+    arrays = {}
+    for field, size, dtype in spec["blocks"]:
+        shm, arr = _attach(spec["names"][field], size, dtype)
+        handles.append(shm)
+        arrays[field] = arr
+    begins = arrays["begins"]
+    light_ends = arrays["light_ends"]
+    ends = arrays["ends"]
+    indices = arrays["indices"]
+    weights = arrays["weights"]
+    dist = arrays["dist"]
+    frontier = arrays["frontier"]
+    out_tgt = arrays["out_tgt"]
+    out_src = arrays["out_src"]
+    out_cand = arrays["out_cand"]
+    # Per-worker scratch, sized to the largest possible chunk (the whole
+    # vertex set) so the task loop never allocates it.
+    scratch = np.zeros(max(begins.size, 1), dtype=np.int64)
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            light, lo, hi = task
+            chunk = frontier[lo:hi]
+            starts = begins[chunk] if light else light_ends[chunk]
+            stops = light_ends[chunk] if light else ends[chunk]
+            counts = stops - starts
+            gathered = int(counts.sum())
+            if gathered:
+                block_starts = scratch[: chunk.size]
+                block_starts[0] = 0
+                np.cumsum(counts[:-1], out=block_starts[1:])
+                edge_idx = (
+                    np.arange(gathered, dtype=np.int64)
+                    - np.repeat(block_starts, counts)
+                    + np.repeat(starts, counts)
+                )
+                edge_src = np.repeat(chunk, counts)
+                out_tgt[:gathered] = indices[edge_idx]
+                out_src[:gathered] = edge_src
+                out_cand[:gathered] = dist[edge_src] + weights[edge_idx]
+            done_q.put((spec["worker_id"], gathered))
+    finally:
+        for shm in handles:
+            shm.close()
+
+
+class SharedMemoryDeltaExecutor:
+    """Worker pool + shared-memory state for ``delta_stepping(backend="mp")``.
+
+    Build once per (graph, Δ) and pass as ``delta_stepping(...,
+    executor=...)`` to amortise process spawn and the one-time graph upload
+    across many runs; or let the kernel create a throwaway one per call.
+    Use as a context manager, or call :meth:`close` — the shared-memory
+    blocks are unlinked on close, and ``__del__`` is a best-effort backstop.
+
+    The executor doubles as the kernel's relaxation engine: the bucket
+    driver calls :meth:`relax` with each frontier, exactly as it does the
+    in-process engines.
+    """
+
+    def __init__(
+        self,
+        graph,
+        num_workers: int = 2,
+        *,
+        delta: float | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        edge_mask = graph.adjacency_arrays()[4]
+        if edge_mask is not None or not hasattr(graph, "light_heavy_split"):
+            raise KSPError(
+                "the mp backend needs a plain CSR graph with a light/heavy "
+                "split; compaction views are not supported (run the "
+                "vectorized backend on those)"
+            )
+        if delta is None:
+            from repro.sssp.delta_stepping import choose_delta
+
+            delta = choose_delta(graph)
+        if int(num_workers) < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.graph = graph
+        self.delta = float(delta)
+        self.num_workers = int(num_workers)
+        self.vertex_mask = None
+        n, m = graph.num_vertices, graph.num_edges
+        self.n, self.m = n, m
+
+        begins, light_ends, ends, indices, weights = graph.light_heavy_split(
+            self.delta
+        )
+        self._shms: list[shared_memory.SharedMemory] = []
+        self.dist = self._share("dist", n, np.float64)
+        self.parent = self._share("parent", n, np.int64)
+        self._frontier = self._share("frontier", n, np.int64)
+        for field, src_arr in (
+            ("begins", begins),
+            ("light_ends", light_ends),
+            ("ends", ends),
+            ("indices", indices),
+            ("weights", weights),
+        ):
+            self._share(field, max(src_arr.size, 1), src_arr.dtype)[
+                : src_arr.size
+            ] = src_arr
+
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        ctx = multiprocessing.get_context(start_method)
+        self._done_q = ctx.SimpleQueue()
+        self._task_qs = []
+        self._procs = []
+        # per-worker private output regions sized for the worst-case batch
+        out_blocks = [("out_tgt", np.int64), ("out_src", np.int64), ("out_cand", np.float64)]
+        self._outs: list[dict[str, np.ndarray]] = []
+        shared_fields = [
+            ("begins", n, np.int64),
+            ("light_ends", n, np.int64),
+            ("ends", n, np.int64),
+            ("indices", max(m, 1), np.int64),
+            ("weights", max(m, 1), np.float64),
+            ("dist", n, np.float64),
+            ("frontier", n, np.int64),
+        ]
+        for w in range(self.num_workers):
+            outs = {
+                field: self._share(f"{field}_{w}", max(m, 1), dtype)
+                for field, dtype in out_blocks
+            }
+            self._outs.append(outs)
+            blocks = shared_fields + [
+                (field, max(m, 1), dtype) for field, dtype in out_blocks
+            ]
+            names = {field: self._name_of(field) for field, _, _ in shared_fields}
+            names.update(
+                {field: self._name_of(f"{field}_{w}") for field, dtype in out_blocks}
+            )
+            spec = {"worker_id": w, "blocks": blocks, "names": names}
+            task_q = ctx.SimpleQueue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(spec, task_q, self._done_q),
+                daemon=True,
+            )
+            proc.start()
+            self._task_qs.append(task_q)
+            self._procs.append(proc)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _share(self, field: str, size: int, dtype) -> np.ndarray:
+        nbytes = int(size) * np.dtype(dtype).itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        shm._repro_field = field  # noqa: SLF001 - tag for _name_of
+        self._shms.append(shm)
+        return np.ndarray((size,), dtype=dtype, buffer=shm.buf)
+
+    def _name_of(self, field: str) -> str:
+        for shm in self._shms:
+            if getattr(shm, "_repro_field", None) == field:
+                return shm.name
+        raise KeyError(field)  # pragma: no cover - internal invariant
+
+    # ------------------------------------------------------------------
+    def check_compatible(self, graph, delta: float) -> None:
+        """Reject reuse against a different graph or bucket width."""
+        if graph is not self.graph:
+            raise ValueError(
+                "executor is bound to a different graph; create one per graph"
+            )
+        if float(delta) != self.delta:
+            raise ValueError(
+                f"executor was built for delta={self.delta}, got {delta}"
+            )
+
+    def begin_run(self, vertex_mask) -> None:
+        """Reset the shared dist/parent state for a fresh source."""
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        self.vertex_mask = vertex_mask
+        self.dist[:] = INF
+        self.parent[:] = -1
+
+    def relax(self, frontier, light: bool, label: str, recorder):
+        """Engine protocol: relax one frontier batch across the workers."""
+        f = int(frontier.size)
+        self._frontier[:f] = frontier
+        nw = self.num_workers
+        step = -(-f // nw) if f else 0  # ceil-divide; empty chunks still run
+        bounds = [min(w * step, f) for w in range(nw + 1)]
+        for w in range(nw):
+            self._task_qs[w].put((light, bounds[w], bounds[w + 1]))
+        sizes = [0] * nw
+        for _ in range(nw):
+            wid, gathered = self._done_q.get()
+            sizes[wid] = gathered
+        live = [w for w in range(nw) if sizes[w]]
+        if not live:
+            return np.empty(0, dtype=np.int64), 0
+        # concatenating in worker order restores frontier order, so the
+        # batch (and thus the result) is independent of the worker count
+        targets = np.concatenate([self._outs[w]["out_tgt"][: sizes[w]] for w in live])
+        sources = np.concatenate([self._outs[w]["out_src"][: sizes[w]] for w in live])
+        cands = np.concatenate([self._outs[w]["out_cand"][: sizes[w]] for w in live])
+        if recorder is not None and hasattr(recorder, "record_mp_step"):
+            chunk_sources = [
+                np.asarray(frontier[bounds[w] : bounds[w + 1]]) for w in range(nw)
+            ]
+            chunk_targets = [
+                self._outs[w]["out_tgt"][: sizes[w]].copy() for w in range(nw)
+            ]
+        if self.vertex_mask is not None:
+            ok = self.vertex_mask[targets]
+            targets, sources, cands = targets[ok], sources[ok], cands[ok]
+        from repro.sssp.delta_stepping import _relax_batch
+
+        improved = _relax_batch(self.dist, self.parent, targets, cands, sources)
+        if recorder is not None:
+            if hasattr(recorder, "record_mp_step"):
+                recorder.record_mp_step(
+                    label, chunk_sources, chunk_targets, improved
+                )
+            else:
+                recorder.record_step(label, sources, targets, improved)
+        return improved, int(targets.size)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and unlink every shared-memory block."""
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._task_qs:
+            try:
+                q.put(None)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1)
+        # drop our views before closing the blocks they point into
+        self.dist = self.parent = self._frontier = None
+        self._outs = []
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._shms = []
+
+    def __enter__(self) -> "SharedMemoryDeltaExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"{self.num_workers} workers"
+        return (
+            f"SharedMemoryDeltaExecutor(n={self.n}, m={self.m}, "
+            f"delta={self.delta:.4g}, {state}, host_cpus={os.cpu_count()})"
+        )

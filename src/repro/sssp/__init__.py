@@ -5,9 +5,13 @@ Four kernels with one result contract (:class:`SSSPResult`):
 * :mod:`repro.sssp.dijkstra` — binary-heap Dijkstra; the workhorse used
   inside every KSP algorithm (supports target early-stop and banned
   vertices/edges for Yen-style deviations).
-* :mod:`repro.sssp.delta_stepping` — Meyer–Sanders Δ-stepping with
-  numpy-vectorised bucket relaxation; this is the "parallel SSSP" of the
-  paper and it emits a per-phase work log for the parallel simulator.
+* :mod:`repro.sssp.delta_stepping` — Meyer–Sanders Δ-stepping, the
+  "parallel SSSP" of the paper; a frontier-centric bucket driver with
+  three bitwise-equivalent relax engines selected by ``backend=``
+  (``"vectorized"`` numpy frontier kernel, ``"scalar"`` reference loop,
+  ``"mp"`` shared-memory multiprocessing via
+  :class:`repro.parallel.mp_backend.SharedMemoryDeltaExecutor`).  Emits a
+  per-phase work log for the parallel simulator.
 * :mod:`repro.sssp.bellman_ford` — reference implementation for tests.
 * :mod:`repro.sssp.lazy_dijkstra` — pausable/resumable Dijkstra used by the
   SB* algorithm's SSSP-reuse optimisation.

@@ -76,6 +76,11 @@ class SSSPWorkspace:
         "_np_parent",
         "_np_settled",
         "_np_touched",
+        "_ds_dist",
+        "_ds_parent",
+        "_ds_needs",
+        "_ds_inr",
+        "_ds_touched",
     )
 
     def __init__(self, graph) -> None:
@@ -100,6 +105,12 @@ class SSSPWorkspace:
         self._np_parent: np.ndarray | None = None
         self._np_settled: np.ndarray | None = None
         self._np_touched: list[int] = []
+        # reusable Δ-stepping buffers (delta_stepping tenancy)
+        self._ds_dist: np.ndarray | None = None
+        self._ds_parent: np.ndarray | None = None
+        self._ds_needs: np.ndarray | None = None
+        self._ds_inr: np.ndarray | None = None
+        self._ds_touched: list[int] = []
 
     # ------------------------------------------------------------------
     # epoch-stamped scalar state
@@ -189,6 +200,40 @@ class SSSPWorkspace:
         self._np_touched = []
         return self._np_dist, self._np_parent, self._np_settled, self._np_touched
 
+    def acquire_delta(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[int]]:
+        """Lend the reusable Δ-stepping buffers.
+
+        Returns ``(dist, parent, needs, in_r, touched)`` under the same
+        tenancy contract as :meth:`acquire_numpy`: the previous tenant's
+        writes are undone sparsely from its ``touched`` list (every vertex
+        the kernel labelled — including a run cancelled mid-bucket, whose
+        partial writes are all in ``touched`` because the kernel appends
+        eagerly), so acquisition costs O(previous query's work), not O(n).
+        Only one tenant may hold the buffers at a time.
+        """
+        if self._ds_dist is None:
+            n = self.n
+            self._ds_dist = np.full(n, INF, dtype=np.float64)
+            self._ds_parent = np.full(n, -1, dtype=np.int64)
+            self._ds_needs = np.zeros(n, dtype=bool)
+            self._ds_inr = np.zeros(n, dtype=bool)
+        elif self._ds_touched:
+            idx = np.asarray(self._ds_touched, dtype=np.int64)
+            self._ds_dist[idx] = INF
+            self._ds_parent[idx] = -1
+            self._ds_needs[idx] = False
+            self._ds_inr[idx] = False
+        self._ds_touched = []
+        return (
+            self._ds_dist,
+            self._ds_parent,
+            self._ds_needs,
+            self._ds_inr,
+            self._ds_touched,
+        )
+
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:
         """Approximate resident size of the workspace state."""
@@ -202,6 +247,9 @@ class SSSPWorkspace:
         if self._np_dist is not None:
             total += self._np_dist.nbytes + self._np_parent.nbytes
             total += self._np_settled.nbytes
+        if self._ds_dist is not None:
+            total += self._ds_dist.nbytes + self._ds_parent.nbytes
+            total += self._ds_needs.nbytes + self._ds_inr.nbytes
         return int(total)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -77,6 +77,14 @@ def test_module_path_inferred_from_filename():
     assert lint_source(src, "src/repro/graph/foo.py") == []
 
 
+def test_mp_backend_in_rpr003_scope():
+    src = "import numpy as np\ndef f(n):\n    for _ in range(3):\n        np.zeros(n)\n"
+    mp = "src/repro/parallel/mp_backend.py"
+    assert [f.rule for f in lint_source(src, mp)] == ["RPR003"]
+    # the rest of repro/parallel/ (the simulator) stays out of scope
+    assert lint_source(src, "src/repro/parallel/scheduler.py") == []
+
+
 def test_workspace_module_exempt_from_rpr003():
     src = "import numpy as np\ndef f(n):\n    for _ in range(3):\n        np.zeros(n)\n"
     assert lint_source(src, "src/repro/sssp/workspace.py") == []

@@ -107,3 +107,29 @@ class TestChooseDelta:
     def test_empty_graph(self):
         g = from_edge_list(3, [])
         assert choose_delta(g) == 1.0
+
+    def test_zero_mean_weight_raises(self):
+        from repro.errors import KSPError
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph(
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+            np.array([0.0, 0.0]),
+            check=False,
+        )
+        with pytest.raises(KSPError, match="mean edge weight"):
+            choose_delta(g)
+
+    def test_nan_mean_weight_raises(self):
+        from repro.errors import KSPError
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph(
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+            np.array([np.nan, 1.0]),
+            check=False,
+        )
+        with pytest.raises(KSPError, match="nan"):
+            choose_delta(g)
