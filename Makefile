@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow lint bench bench-hot example-tuning
+.PHONY: test test-fast test-slow lint bench bench-hot bench-serving example-tuning
 
 ## Tier-1 suite: the full gate every change must keep green.
 test:
@@ -30,6 +30,11 @@ lint:
 bench: bench-hot
 bench-hot:
 	$(PYTHON) benchmarks/bench_hot_path.py
+
+## Serving-capacity benchmark: the medium run table on simulated time.
+## Writes BENCH_serving.json and results/serving_capacity.txt.
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving.py
 
 ## The performance-tuning walkthrough (includes the workspace act).
 example-tuning:

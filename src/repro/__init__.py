@@ -60,9 +60,9 @@ from repro.obs import (
     write_jsonl,
 )
 from repro.paths import Path
-from repro.serve import QueryServer, ServeResult
+from repro.serve import Query, QueryServer, ServeResult
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "solve",
@@ -84,6 +84,7 @@ __all__ = [
     "sb_star_ksp",
     "pnc_ksp",
     "shortest_k_groups",
+    "Query",
     "QueryServer",
     "ServeResult",
     "Span",

@@ -22,10 +22,10 @@ traceback from deep inside a constructor.
 
 from __future__ import annotations
 
-from repro.errors import KSPError, VertexError
 from repro.ksp.base import KSPResult
 from repro.ksp.registry import ALGORITHMS, AlgorithmSpec, make_algorithm
 from repro.obs.tracer import get_tracer
+from repro.serve.query import Query, validate_query
 
 __all__ = ["solve", "algorithms", "algorithm_spec"]
 
@@ -88,11 +88,9 @@ def solve(
     ``prune`` / ``compact`` / ``ksp``) and per-kernel counters are
     captured — see ``docs/observability.md``.
     """
-    n = graph.num_vertices
-    if not 0 <= source < n or not 0 <= target < n:
-        raise VertexError(f"query ({source}, {target}) out of range [0, {n})")
-    if source == target:
-        raise KSPError("source and target must differ for a KSP query")
+    # The shared request validator (range → source==target → k<1): one
+    # taxonomy for this entry point and QueryServer.serve, by construction.
+    validate_query(graph, Query(source, target, k))
     if sanitize is None:
         from repro.analysis.sanitize import sanitize_enabled_from_env
 

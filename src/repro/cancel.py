@@ -29,6 +29,17 @@ with the stage name at every checkpoint and may raise.  The hook is
 process-global (install it around a test, not around concurrent prod
 traffic) and ``None`` by default, in which case a checkpoint with no
 deadline is a single attribute load.
+
+Virtual time
+------------
+The time source itself is injectable: :func:`install_clock` /
+:func:`clock_scope` swap the ``perf_counter`` every deadline comparison
+reads for any zero-argument float callable.  The load harness
+(:mod:`repro.load`) installs a :class:`~repro.load.simclock.SimClock`
+that *advances at every checkpoint* by a per-stage cost, so deadline
+expiry — and therefore degradation, partial results, and shedding —
+becomes a deterministic function of work done, reproducible from seeds
+alone with no wall-clock in the loop.
 """
 
 from __future__ import annotations
@@ -46,6 +57,9 @@ __all__ = [
     "cancellation_active",
     "deadline_in",
     "remaining",
+    "now",
+    "install_clock",
+    "clock_scope",
     "install_fault_hook",
     "fault_scope",
 ]
@@ -60,18 +74,58 @@ SCAN_CHECK_INTERVAL = 1024
 #: the installed fault hook (``Callable[[str], None] | None``)
 _fault_hook: Callable[[str], None] | None = None
 
+#: the installed time source (``time.perf_counter`` unless replaced)
+_clock: Callable[[], float] = time.perf_counter
+
+
+def now() -> float:
+    """The current time on the installed clock (wall-clock by default).
+
+    Every deadline comparison in the library reads this, so swapping the
+    clock via :func:`install_clock` moves the *whole* cancellation
+    machinery — deadlines, budgets, backoff accounting — onto virtual
+    time at once.
+    """
+    return _clock()
+
+
+def install_clock(
+    clock: Callable[[], float] | None,
+) -> Callable[[], float]:
+    """Install ``clock`` as the time source; returns the previous one.
+
+    ``None`` restores ``time.perf_counter``.  Process-global, like the
+    fault hook: install around a harness run, not around concurrent
+    production traffic.
+    """
+    global _clock
+    prev = _clock
+    _clock = clock if clock is not None else time.perf_counter
+    return prev
+
+
+@contextmanager
+def clock_scope(clock: Callable[[], float]) -> Iterator[None]:
+    """Install ``clock`` for the duration of the block."""
+    prev = install_clock(clock)
+    try:
+        yield
+    finally:
+        install_clock(prev)
+
 
 def checkpoint(deadline: float | None, stage: str) -> None:
     """One cooperative cancellation point.
 
     Calls the installed fault hook (if any) with ``stage``, then raises
     :class:`~repro.errors.KSPTimeout` when ``deadline`` (an absolute
-    ``time.perf_counter()`` value) has passed.
+    value on the installed clock, ``time.perf_counter`` by default) has
+    passed.
     """
     hook = _fault_hook
     if hook is not None:
         hook(stage)
-    if deadline is not None and time.perf_counter() > deadline:
+    if deadline is not None and _clock() > deadline:
         raise KSPTimeout(f"{stage} exceeded its deadline")
 
 
@@ -89,14 +143,14 @@ def deadline_in(seconds: float | None) -> float | None:
     """Relative budget (seconds from now) → absolute deadline, or None."""
     if seconds is None:
         return None
-    return time.perf_counter() + float(seconds)
+    return _clock() + float(seconds)
 
 
 def remaining(deadline: float | None) -> float:
     """Seconds left until ``deadline`` (``inf`` when none; may be <= 0)."""
     if deadline is None:
         return float("inf")
-    return deadline - time.perf_counter()
+    return deadline - _clock()
 
 
 def install_fault_hook(

@@ -341,6 +341,20 @@ class Tracer:
             out = sum(s.counters.get(counter, 0) for s in self.spans)
             return out + self.orphan_counters.get(counter, 0)
 
+    def counter_totals(self) -> dict[str, float]:
+        """Every counter summed over all finished spans (+ orphans).
+
+        Key-sorted so the dict serializes deterministically — the load
+        runner exports these per run-table cell, and byte-identical
+        metrics files are a contract there.
+        """
+        with self._lock:
+            out: dict[str, float] = dict(self.orphan_counters)
+            for span in self.spans:
+                for name, value in span.counters.items():
+                    out[name] = out.get(name, 0) + value
+        return dict(sorted(out.items()))
+
     def records(self) -> list[dict[str, Any]]:
         """Every finished span as a JSONL-ready dict."""
         with self._lock:

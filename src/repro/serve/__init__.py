@@ -13,6 +13,7 @@ degradation paths are tested with.
 """
 
 from repro.serve.faults import FaultInjector, FaultRule, InjectedFault
+from repro.serve.query import Query, validate_query
 from repro.serve.server import (
     COMPLETE,
     DEGRADED,
@@ -25,6 +26,8 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "Query",
+    "validate_query",
     "QueryServer",
     "ServeResult",
     "RetryPolicy",

@@ -38,19 +38,18 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.cancel import checkpoint, deadline_in, remaining
+from repro.cancel import checkpoint, deadline_in, now, remaining
 from repro.core.batch import BatchPeeK
 from repro.errors import (
-    KSPError,
     KSPTimeout,
     ServerOverloadError,
     UnreachableTargetError,
-    VertexError,
 )
 from repro.ksp.base import KSPResult, KSPStats
 from repro.ksp.optyen import OptYenKSP
 from repro.obs.tracer import get_tracer
 from repro.paths import Path
+from repro.serve.query import Query, validate_query
 
 __all__ = [
     "COMPLETE",
@@ -84,14 +83,36 @@ class RetryPolicy:
     Attempt ``i`` (1-based) sleeps ``backoff_base * multiplier**(i-1)``
     before retrying, up to ``max_attempts`` total attempts.  A retry is
     skipped when the query's remaining budget would not cover the sleep.
+
+    ``jitter`` spreads the sleep multiplicatively over
+    ``[1 - jitter, 1 + jitter]`` to decorrelate retry storms.  The draw
+    comes from the *injected* RNG passed to :meth:`backoff` — never from
+    module-level randomness — so a seeded harness run (see
+    ``docs/load_testing.md``, "The seeding contract") reproduces every
+    sleep exactly; with no RNG supplied the schedule stays deterministic
+    even when ``jitter`` is set.
     """
 
     max_attempts: int = 3
     backoff_base: float = 0.02
     backoff_multiplier: float = 2.0
+    jitter: float = 0.0
 
-    def backoff(self, attempt: int) -> float:
-        return self.backoff_base * self.backoff_multiplier ** (attempt - 1)
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Sleep before retry ``attempt`` (1-based).
+
+        ``rng`` is any object with a ``random() -> [0, 1)`` method
+        (``random.Random``, ``numpy.random.Generator``); it is consulted
+        only when ``jitter > 0``.
+        """
+        delay = self.backoff_base * self.backoff_multiplier ** (attempt - 1)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
 
 
 @dataclass
@@ -117,6 +138,16 @@ class ServeResult:
     error: str | None = None
     #: KSP-stage counters of the tier that produced the paths
     stats: KSPStats = field(default_factory=KSPStats)
+    #: the originating request (None only for legacy constructions)
+    query: Query | None = None
+    #: seconds the request waited before :meth:`QueryServer.serve` started
+    #: (supplied by the queueing layer in front of the server; 0 when the
+    #: caller dispatched directly)
+    queue_time: float = 0.0
+    #: seconds inside the degradation chain, on the installed clock —
+    #: equal to ``elapsed``; end-to-end latency is ``queue_time +
+    #: service_time``
+    service_time: float = 0.0
 
     @property
     def distances(self) -> list[float]:
@@ -162,12 +193,26 @@ class QueryServer:
     max_in_flight:
         Admission-control bound; query ``max_in_flight + 1`` is shed with
         :class:`~repro.errors.ServerOverloadError` instead of queueing.
+    tier1_budget_fraction:
+        Budget splitting: cap tier 1 (the full PeeK pipeline) at this
+        fraction of the query's remaining budget, reserving the rest for
+        the plain-OptYen fallback.  ``None`` (the default) gives tier 1
+        the whole budget — the historical behavior, under which a *real*
+        deadline expiry can never produce a ``degraded`` outcome (by the
+        time tier 1 times out, tier 2 has no budget left).  With a
+        fraction set, tight deadlines degrade instead of failing
+        wholesale; see ``docs/serving.md``.
     sanitize:
         Audit every served result with the SAN-PATH battery
         (:func:`repro.analysis.sanitize.check_result_paths`) — including
         degraded and partial ones.  ``None`` defers to ``RPR_SANITIZE``.
     sleep:
-        Injectable sleep for backoff (tests pass a recording fake).
+        Injectable sleep for backoff (tests pass a recording fake; the
+        load harness passes ``SimClock.sleep``).
+    rng:
+        Injected RNG handed to :meth:`RetryPolicy.backoff` for jitter —
+        part of the seeding contract (``docs/load_testing.md``).  ``None``
+        disables jitter regardless of the policy's ``jitter`` field.
     """
 
     def __init__(
@@ -181,11 +226,15 @@ class QueryServer:
         default_timeout: float | None = None,
         retry: RetryPolicy | None = None,
         max_in_flight: int = 64,
+        tier1_budget_fraction: float | None = None,
         sanitize: bool | None = None,
         sleep=time.sleep,
+        rng=None,
     ) -> None:
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
+        if tier1_budget_fraction is not None and not 0.0 < tier1_budget_fraction <= 1.0:
+            raise ValueError("tier1_budget_fraction must be in (0, 1]")
         self.graph = graph
         self.batch = BatchPeeK(
             graph,
@@ -198,8 +247,10 @@ class QueryServer:
         self.default_timeout = default_timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.max_in_flight = max_in_flight
+        self.tier1_budget_fraction = tier1_budget_fraction
         self._sanitize = sanitize
         self._sleep = sleep
+        self._rng = rng
         self._lock = threading.Lock()
         self._in_flight = 0
         #: outcome name -> count, plus "shed" and "retries"
@@ -232,16 +283,30 @@ class QueryServer:
     # -- the front door -------------------------------------------------
     def serve(
         self,
-        source: int,
-        target: int,
-        k: int,
+        query: Query | int,
+        target: int | None = None,
+        k: int | None = None,
         *,
         timeout: float | None = None,
+        queue_time: float = 0.0,
     ) -> ServeResult:
         """Serve one query under a budget; never hangs, never raises on
         timeout.
 
-        Invalid *requests* still raise immediately
+        Two call forms, same behavior:
+
+        * **request-object** — ``serve(Query(source, target, k,
+          timeout=0.1))``; the budget comes from ``Query.timeout``;
+        * **legacy** — ``serve(source, target, k, timeout=0.1)``; a
+          :class:`Query` is constructed internally, so the two forms are
+          provably the same code path.
+
+        ``queue_time`` is descriptive only (recorded on the result for
+        latency accounting by queueing layers such as
+        :mod:`repro.load`); the budget always runs from serve start.
+
+        Invalid *requests* still raise immediately via
+        :func:`~repro.serve.query.validate_query`
         (:class:`~repro.errors.VertexError` for out-of-range ids,
         :class:`~repro.errors.KSPError` for ``source == target``,
         ``ValueError`` for ``k < 1``) — those are caller bugs, not faults
@@ -250,38 +315,47 @@ class QueryServer:
         Everything else yields a :class:`ServeResult` whose ``outcome``
         states exactly what the paths are.
         """
-        n = self.graph.num_vertices
-        if not 0 <= source < n or not 0 <= target < n:
-            raise VertexError(f"query ({source}, {target}) out of range")
-        if source == target:
-            raise KSPError("source and target must differ for a KSP query")
-        if k < 1:
-            raise ValueError("k must be >= 1")
+        if isinstance(query, Query):
+            if target is not None or k is not None or timeout is not None:
+                raise TypeError(
+                    "pass either a Query or (source, target, k, timeout=...), "
+                    "not both"
+                )
+        else:
+            if target is None or k is None:
+                raise TypeError(
+                    "serve() takes a Query or (source, target, k) positionally"
+                )
+            query = Query(query, target, k, timeout=timeout)
+        validate_query(self.graph, query)
         self._admit()
         try:
-            return self._serve(source, target, k, timeout)
+            return self._serve(query, queue_time)
         finally:
             self._release()
 
-    def _serve(self, source, target, k, timeout) -> ServeResult:
+    def _serve(self, query: Query, queue_time: float) -> ServeResult:
+        timeout = query.timeout
         if timeout is None:
             timeout = self.default_timeout
         deadline = deadline_in(timeout)
         tracer = get_tracer()
-        t0 = time.perf_counter()
+        t0 = now()
         with tracer.span(
-            "serve.query", source=source, target=target, k=k
+            "serve.query", source=query.source, target=query.target, k=query.k
         ) as span:
             attempts = 0
             while True:
                 attempts += 1
                 try:
-                    att = self._attempt(source, target, k, deadline)
+                    att = self._attempt(
+                        query.source, query.target, query.k, deadline
+                    )
                     break
                 except Exception as exc:  # noqa: BLE001 - classified below
                     if not _is_transient(exc):
                         raise
-                    backoff = self.retry.backoff(attempts)
+                    backoff = self.retry.backoff(attempts, rng=self._rng)
                     if (
                         attempts >= self.retry.max_attempts
                         or remaining(deadline) <= backoff
@@ -291,17 +365,21 @@ class QueryServer:
                     self.counters["retries"] += 1
                     tracer.add("serve.retries")
                     self._sleep(backoff)
+            elapsed = now() - t0
             result = ServeResult(
                 paths=att.paths,
-                k_requested=k,
+                k_requested=query.k,
                 outcome=att.outcome,
                 tier=att.tier,
                 attempts=attempts,
-                elapsed=time.perf_counter() - t0,
+                elapsed=elapsed,
                 error=repr(att.error) if att.error is not None else None,
                 stats=att.stats,
+                query=query,
+                queue_time=queue_time,
+                service_time=elapsed,
             )
-            self._maybe_sanitize(result, source, target)
+            self._maybe_sanitize(result, query.source, query.target)
             self.counters[att.outcome] += 1
             if span.enabled:
                 span.attrs["outcome"] = att.outcome
@@ -311,23 +389,40 @@ class QueryServer:
         return result
 
     # -- the degradation chain ------------------------------------------
+    def _tier1_deadline(self, deadline):
+        """Where tier 1's budget ends (the full deadline unless split)."""
+        fraction = self.tier1_budget_fraction
+        if fraction is None or deadline is None:
+            return deadline
+        return min(deadline, now() + remaining(deadline) * fraction)
+
     def _attempt(self, source, target, k, deadline) -> _Attempt:
         """One walk down PeeK → plain OptYen → partial."""
         # --- tier 1: the full batched PeeK pipeline ---
         stage_error: BaseException
+        tier1_deadline = self._tier1_deadline(deadline)
+        split = tier1_deadline is not None and tier1_deadline != deadline
+        tier1_partial: list[Path] = []
+        tier1_stats = KSPStats()
         try:
-            checkpoint(deadline, "serve.attempt")
-            prep = self.batch.prepare(source, target, k, deadline=deadline)
+            checkpoint(tier1_deadline, "serve.attempt")
+            prep = self.batch.prepare(
+                source, target, k, deadline=tier1_deadline
+            )
             paths, cut = self._enumerate(prep.inner, k, prep.map_paths)
             if not cut:
                 return _Attempt(paths, COMPLETE, "peek", None, prep.inner.stats)
-            if paths:
+            if paths and not split:
                 return _Attempt(
                     paths, PARTIAL, "peek", cut, prep.inner.stats
                 )
-            stage_error = cut  # budget died before the first path
+            # With a budget split, a tier-1 cut still leaves real budget:
+            # keep the prefix as a floor and let tier 2 try to beat it.
+            tier1_partial = paths
+            tier1_stats = prep.inner.stats
+            stage_error = cut
         except KSPTimeout as exc:
-            stage_error = exc  # prune or compact blew the budget
+            stage_error = exc  # prune or compact blew the (tier-1) budget
         except UnreachableTargetError as exc:
             stage_error = exc  # possibly a stage fault; tier 2 decides
 
@@ -346,6 +441,12 @@ class QueryServer:
                 return _Attempt(
                     paths, DEGRADED, "optyen", stage_error, fallback.stats
                 )
+            # Both tiers were cut: the prefixes are both exact leading
+            # segments of the same true list, so the longer one wins.
+            if len(tier1_partial) > len(paths):
+                return _Attempt(
+                    tier1_partial, PARTIAL, "peek", stage_error, tier1_stats
+                )
             if paths:
                 return _Attempt(paths, PARTIAL, "optyen", cut, fallback.stats)
             return _Attempt([], FAILED, "", cut, fallback.stats)
@@ -353,6 +454,10 @@ class QueryServer:
             # Confirmed by the unpruned graph: genuinely no s→t path.
             return _Attempt([], FAILED, "", exc, KSPStats())
         except KSPTimeout as exc:
+            if tier1_partial:
+                return _Attempt(
+                    tier1_partial, PARTIAL, "peek", stage_error, tier1_stats
+                )
             return _Attempt([], FAILED, "", exc, KSPStats())
 
     @staticmethod

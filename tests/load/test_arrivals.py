@@ -1,0 +1,141 @@
+"""Arrival processes: statistical sanity + determinism.
+
+The statistical assertions use wide tolerances over large samples —
+they pin the *model* (right mean, right modulation), not the RNG.
+Determinism is exact: same seed, same stream.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.load.arrivals import (
+    ClosedLoop,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    arrival_process,
+)
+
+
+class TestPoisson:
+    def test_mean_interarrival(self):
+        rate = 500.0
+        times = list(PoissonArrivals(rate).arrivals(Random(1), horizon=40.0))
+        assert len(times) > 10_000
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1.0 / rate, rel=0.05)
+
+    def test_strictly_increasing_below_horizon(self):
+        times = list(PoissonArrivals(50.0).arrivals(Random(2), horizon=5.0))
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert all(0.0 < t < 5.0 for t in times)
+
+    def test_same_seed_same_stream(self):
+        a = list(PoissonArrivals(100.0).arrivals(Random(7), horizon=2.0))
+        b = list(PoissonArrivals(100.0).arrivals(Random(7), horizon=2.0))
+        assert a == b
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(0.0)
+
+    def test_mean_rate(self):
+        assert PoissonArrivals(123.0).mean_rate() == 123.0
+
+
+class TestMMPP:
+    proc = MMPPArrivals(rate_low=20.0, rate_high=400.0, dwell_low=0.2, dwell_high=0.05)
+
+    def test_phases_alternate_starting_low(self):
+        phases = list(self.proc.phases(Random(3), horizon=10.0))
+        rates = [r for _, _, r in phases]
+        assert rates[0] == 20.0
+        assert all(
+            r == (20.0 if i % 2 == 0 else 400.0) for i, r in enumerate(rates)
+        )
+
+    def test_dwell_means(self):
+        # long horizon -> hundreds of phases; drop the horizon-clipped last
+        phases = list(self.proc.phases(Random(4), horizon=300.0))[:-1]
+        low = [e - s for i, (s, e, _) in enumerate(phases) if i % 2 == 0]
+        high = [e - s for i, (s, e, _) in enumerate(phases) if i % 2 == 1]
+        assert len(low) > 300 and len(high) > 300
+        assert sum(low) / len(low) == pytest.approx(0.2, rel=0.15)
+        assert sum(high) / len(high) == pytest.approx(0.05, rel=0.15)
+
+    def test_arrivals_live_inside_phases(self):
+        rng = Random(5)
+        times = list(self.proc.arrivals(rng, horizon=3.0))
+        assert times == sorted(times)
+        assert all(0.0 < t < 3.0 for t in times)
+
+    def test_mean_rate_is_dwell_weighted(self):
+        # (20*0.2 + 400*0.05) / 0.25 = 96
+        assert self.proc.mean_rate() == pytest.approx(96.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rates"):
+            MMPPArrivals(0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="dwell"):
+            MMPPArrivals(1.0, 2.0, 0.0, 1.0)
+
+
+class TestDiurnal:
+    proc = DiurnalArrivals(base_rate=200.0, amplitude=0.9, period=2.0)
+
+    def test_rate_at_peak_and_trough(self):
+        assert self.proc.rate_at(0.5) == pytest.approx(380.0)  # sin peak
+        assert self.proc.rate_at(1.5) == pytest.approx(20.0)  # sin trough
+
+    def test_peak_half_outdraws_trough_half(self):
+        times = list(self.proc.arrivals(Random(6), horizon=20.0))
+        in_peak = sum(1 for t in times if (t % 2.0) < 1.0)
+        in_trough = len(times) - in_peak
+        assert in_peak > 3 * in_trough  # 90% modulation is a huge contrast
+
+    def test_mean_rate_averages_out(self):
+        times = list(self.proc.arrivals(Random(8), horizon=50.0))
+        assert len(times) / 50.0 == pytest.approx(200.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalArrivals(10.0, 1.5, 1.0)
+
+
+class TestClosedLoop:
+    def test_spec_and_mean_rate(self):
+        pop = ClosedLoop(users=300, think_mean=0.5)
+        assert pop.mean_rate() == pytest.approx(600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="users"):
+            ClosedLoop(users=0, think_mean=1.0)
+        with pytest.raises(ValueError, match="think_mean"):
+            ClosedLoop(users=5, think_mean=0.0)
+
+
+class TestFactory:
+    def test_builds_each_kind(self):
+        assert arrival_process({"kind": "poisson", "rate": 5.0}) == PoissonArrivals(5.0)
+        assert isinstance(
+            arrival_process(
+                {"kind": "mmpp", "rate_low": 1.0, "rate_high": 2.0,
+                 "dwell_low": 1.0, "dwell_high": 1.0}
+            ),
+            MMPPArrivals,
+        )
+        assert isinstance(
+            arrival_process({"kind": "closed", "users": 3, "think_mean": 1.0}),
+            ClosedLoop,
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown traffic kind"):
+            arrival_process({"kind": "fractal"})
+
+    def test_spec_not_mutated(self):
+        spec = {"kind": "poisson", "rate": 5.0}
+        arrival_process(spec)
+        assert spec == {"kind": "poisson", "rate": 5.0}

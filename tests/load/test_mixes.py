@@ -1,0 +1,137 @@
+"""Query mixes and the JSONL trace round trip."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.graph.suite import suite_graph
+from repro.load.arrivals import PoissonArrivals
+from repro.load.mixes import HotspotMix, KSampler, UniformMix, make_mix
+from repro.load.trace import dump_trace, load_trace, record_open_loop
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return suite_graph("LJ", "tiny")
+
+
+class TestKSampler:
+    def test_uniform_bounds(self):
+        s = KSampler(dist="uniform", k_min=2, k_max=5)
+        rng = Random(0)
+        draws = {s.sample(rng) for _ in range(500)}
+        assert draws == {2, 3, 4, 5}
+
+    def test_small_heavy_is_small_heavy(self):
+        s = KSampler(dist="small_heavy", k_min=1, k_max=8, p=0.5)
+        rng = Random(1)
+        draws = [s.sample(rng) for _ in range(4000)]
+        assert min(draws) == 1 and max(draws) <= 8
+        assert draws.count(1) > 4 * draws.count(8)  # geometric mass up front
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k distribution"):
+            KSampler(dist="zipf")
+        with pytest.raises(ValueError, match="k_min"):
+            KSampler(k_min=0)
+        with pytest.raises(ValueError, match="p must"):
+            KSampler(p=1.0)
+
+
+class TestUniformMix:
+    def test_bounds_and_distinct_endpoints(self, graph):
+        mix = UniformMix(graph, k=KSampler(k_min=1, k_max=4))
+        rng = Random(2)
+        n = graph.num_vertices
+        for _ in range(2000):
+            s, t, k = mix.sample(rng)
+            assert 0 <= s < n and 0 <= t < n and s != t
+            assert 1 <= k <= 4
+
+    def test_target_roughly_uniform(self, graph):
+        mix = UniformMix(graph)
+        rng = Random(3)
+        counts = np.zeros(graph.num_vertices, dtype=int)
+        for _ in range(20_000):
+            _, t, _ = mix.sample(rng)
+            counts[t] += 1
+        # no vertex should soak up much more than its uniform share
+        assert counts.max() < 5 * counts.mean()
+
+
+class TestHotspotMix:
+    def test_bounds_and_distinct_endpoints(self, graph):
+        mix = HotspotMix(graph, exponent=1.5)
+        rng = Random(4)
+        n = graph.num_vertices
+        for _ in range(2000):
+            s, t, k = mix.sample(rng)
+            assert 0 <= s < n and 0 <= t < n and s != t
+
+    def test_targets_follow_in_degree(self, graph):
+        mix = HotspotMix(graph, exponent=1.0)
+        rng = Random(5)
+        counts = np.zeros(graph.num_vertices, dtype=int)
+        for _ in range(20_000):
+            _, t, _ = mix.sample(rng)
+            counts[t] += 1
+        in_degree = np.bincount(graph.indices, minlength=graph.num_vertices)
+        top = np.argsort(in_degree)[-len(in_degree) // 10 :]
+        share = counts[top].sum() / counts.sum()
+        uniform_share = len(top) / graph.num_vertices
+        # a preferential-attachment top decile holds far more than 10% of
+        # the in-degree mass, so the traffic share must follow
+        assert share > 2 * uniform_share
+
+
+class TestMakeMix:
+    def test_specs(self, graph):
+        assert isinstance(make_mix(graph, {"kind": "uniform"}), UniformMix)
+        hot = make_mix(
+            graph,
+            {"kind": "hotspot", "exponent": 2.0, "k": {"dist": "uniform", "k_max": 3}},
+        )
+        assert isinstance(hot, HotspotMix)
+        assert hot.k_sampler.k_max == 3
+
+    def test_unknown_kind(self, graph):
+        with pytest.raises(ValueError, match="unknown mix kind"):
+            make_mix(graph, {"kind": "mystery"})
+
+
+class TestTraceRoundTrip:
+    def test_dump_load_identity(self, graph, tmp_path):
+        queries = record_open_loop(
+            PoissonArrivals(rate=300.0),
+            UniformMix(graph),
+            horizon=0.5,
+            seed=11,
+            timeout=0.05,
+        )
+        assert queries, "horizon should produce arrivals"
+        path = dump_trace(queries, tmp_path / "t.jsonl", source={"why": "test"})
+        loaded = load_trace(path)
+        # Query is a frozen dataclass: == compares every field, and JSON
+        # round-trips floats bit-for-bit — the schedule survives exactly.
+        assert loaded == queries
+
+    def test_record_is_deterministic(self, graph):
+        kwargs = dict(horizon=0.3, seed=9)
+        a = record_open_loop(PoissonArrivals(100.0), UniformMix(graph), **kwargs)
+        b = record_open_loop(PoissonArrivals(100.0), UniformMix(graph), **kwargs)
+        assert a == b
+
+    def test_version_check(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "meta", "version": 99}\n')
+        with pytest.raises(ValueError, match="version-1"):
+            load_trace(bad)
+
+    def test_max_queries_cap(self, graph):
+        queries = record_open_loop(
+            PoissonArrivals(1000.0), UniformMix(graph), horizon=5.0, seed=1,
+            max_queries=25,
+        )
+        assert len(queries) == 25
+        assert [q.request_id for q in queries] == [f"q{i:06d}" for i in range(25)]
