@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow lint bench bench-hot bench-serving example-tuning
+.PHONY: test test-fast test-slow lint contracts bench bench-hot bench-serving example-tuning
 
 ## Tier-1 suite: the full gate every change must keep green.
 test:
@@ -21,9 +21,16 @@ test-slow:
 ## Lint (CI runs this; requires ruff, which is not a runtime dependency).
 ## repro-lint is the repo-specific AST pass (rules RPR001-RPR005; see
 ## docs/correctness_tooling.md).
-lint:
+lint: contracts
 	ruff check src tests
 	$(PYTHON) -m repro.analysis.lint src
+
+## Whole-program contract analyzer (rules CTR101-CTR501; see
+## docs/correctness_tooling.md).  Fails on any finding not in the
+## checked-in baseline; also refreshes the coverage self-report.
+contracts:
+	$(PYTHON) -m repro.analysis.contracts --baseline contracts_baseline.json \
+		--report results/contracts_report.txt src/repro
 
 ## KSP hot-path benchmark: workspace on/off for Yen/OptYen/PeeK.
 ## Writes BENCH_hot_path.json and results/hot_path.txt.

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis.contracts`` → the contracts CLI."""
+
+from repro.analysis.contracts.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

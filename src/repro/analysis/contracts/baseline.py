@@ -1,0 +1,87 @@
+"""Finding baselines: ratchet semantics for CI.
+
+A baseline file records the findings a tree is *known* to carry — each
+as a location-free fingerprint ``(rule, module, function, message)`` so
+unrelated edits moving a line do not churn it.  CI fails on any finding
+not in the baseline ("no new debt") while the listed ones age out as
+they are fixed; ``--write-baseline`` regenerates the file, and an entry
+that no longer matches anything is reported by ``stale_entries`` so the
+file cannot quietly accumulate fiction.  The shipped baseline
+(``contracts_baseline.json``) is empty: the tree holds its contracts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "split_by_baseline",
+    "stale_entries",
+]
+
+
+def fingerprint(f: Finding) -> tuple[str, str, str, str]:
+    return (
+        f.rule,
+        str(f.context.get("module", f.path or "")),
+        str(f.context.get("function", "")),
+        f.message,
+    )
+
+
+def load_baseline(path: str | Path) -> list[tuple[str, str, str, str]]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    out = []
+    for entry in data.get("findings", []):
+        out.append(
+            (
+                entry["rule"],
+                entry.get("module", ""),
+                entry.get("function", ""),
+                entry["message"],
+            )
+        )
+    return out
+
+
+def write_baseline(path: str | Path, findings) -> None:
+    entries = sorted(
+        {fingerprint(f) for f in findings}
+    )
+    payload = {
+        "tool": "repro-contracts",
+        "findings": [
+            {
+                "rule": rule,
+                "module": module,
+                "function": function,
+                "message": message,
+            }
+            for rule, module, function, message in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def split_by_baseline(findings, baseline):
+    """``(new, known)`` — findings absent from / present in the baseline."""
+    known_set = set(baseline)
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for f in findings:
+        (known if fingerprint(f) in known_set else new).append(f)
+    return new, known
+
+
+def stale_entries(findings, baseline):
+    """Baseline entries matching no current finding (fixed debt)."""
+    present = {fingerprint(f) for f in findings}
+    return [e for e in baseline if e not in present]

@@ -1,0 +1,87 @@
+"""The pass catalogue and the context handed to every pass.
+
+Each pass is a module exposing ``run(ctx, only_modules=None) ->
+list[Finding]``; ``only_modules`` restricts which modules may *carry*
+findings (incremental mode re-analyzes dirty modules only), while the
+interprocedural structures — call graph, summaries — always span the
+whole project, which is what makes an incremental run agree with a full
+one by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.contracts import (
+    cancellation,
+    determinism,
+    entrypoints,
+    footprints,
+    spans,
+)
+from repro.analysis.contracts.callgraph import CallGraph
+from repro.analysis.contracts.config import ContractConfig
+from repro.analysis.contracts.model import Project
+
+__all__ = ["PassContext", "PassInfo", "PASSES", "RULES"]
+
+
+@dataclass
+class PassContext:
+    project: Project
+    graph: CallGraph
+    config: ContractConfig
+
+
+@dataclass(frozen=True)
+class PassInfo:
+    pass_id: str
+    title: str
+    rules: tuple[str, ...]
+    run: object  # run(ctx, only_modules=None) -> list[Finding]
+
+
+PASSES: tuple[PassInfo, ...] = (
+    PassInfo(
+        "determinism",
+        "determinism discipline",
+        ("CTR101", "CTR102", "CTR103"),
+        determinism.run,
+    ),
+    PassInfo(
+        "cancellation",
+        "cancellation coverage",
+        ("CTR201",),
+        cancellation.run,
+    ),
+    PassInfo(
+        "spans",
+        "interprocedural span pairing",
+        ("CTR301",),
+        spans.run,
+    ),
+    PassInfo(
+        "footprints",
+        "static footprint audit",
+        ("CTR401", "CTR402"),
+        footprints.run,
+    ),
+    PassInfo(
+        "entrypoints",
+        "entry-point contracts",
+        ("CTR501",),
+        entrypoints.run,
+    ),
+)
+
+#: rule id → one-line description (drives --list-rules and SARIF metadata)
+RULES: dict[str, str] = {
+    "CTR101": "entry-reachable use of module-level RNG state",
+    "CTR102": "wall-clock read outside the injectable clock module",
+    "CTR103": "RNG object stored in a module global",
+    "CTR201": "unbounded loop reachable from solve()/serve() never checkpoints",
+    "CTR301": "manually opened span not closed on every CFG path",
+    "CTR401": "parallel phase writes a shared array its recorder never declares",
+    "CTR402": "recorder declares a write no audited phase performs",
+    "CTR501": "public entry reaches kernel code before validate_query()",
+}

@@ -1,0 +1,73 @@
+"""SARIF 2.1.0 output for the contracts analyzer.
+
+Minimal but valid: one run, a tool driver carrying the rule catalogue,
+one result per finding with a physical location.  Emission is fully
+deterministic — findings arrive pre-sorted and nothing here reads the
+clock — so two runs over the same tree are byte-identical, which CI
+relies on for artifact diffing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.contracts.registry import RULES
+
+__all__ = ["findings_to_sarif"]
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def findings_to_sarif(findings) -> str:
+    rule_ids = sorted({f.rule for f in findings} | set(RULES))
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {"text": RULES.get(rid, rid)},
+        }
+        for rid in rule_ids
+    ]
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_ids.index(f.rule),
+            "level": _LEVELS.get(f.severity, "error"),
+            "message": {"text": f.message},
+        }
+        if f.path is not None:
+            region = {}
+            if f.line is not None:
+                region["startLine"] = f.line
+            if f.column is not None:
+                # SARIF columns are 1-based; ast's are 0-based
+                region["startColumn"] = f.column + 1
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                }
+            }
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        results.append(result)
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-contracts",
+                        "informationUri": "docs/correctness_tooling.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)

@@ -17,19 +17,26 @@ Rules (catalogue with examples in ``docs/correctness_tooling.md``):
   ``traced`` decorator); a span entered manually and lost on an exception
   corrupts the whole stage tree.  ``repro/obs/`` itself is exempt.
 * **RPR003** — no O(n) ``np.full`` / ``np.zeros`` / ``np.ones`` /
-  ``np.empty`` allocations lexically inside loops in ``repro/ksp/`` and
-  ``repro/sssp/``; per-spur state must route through
+  ``np.empty`` allocations lexically inside loops in ``repro/ksp/``,
+  ``repro/sssp/``, ``repro/parallel/mp_backend.py``, ``repro/load/``
+  and ``repro/serve/`` (the serving/load event loops run one iteration
+  per request, so a per-iteration O(n) alloc is a per-query tax exactly
+  like a per-spur one); per-spur state must route through
   :class:`~repro.sssp.workspace.SSSPWorkspace`.  Small constant-size
   allocations (≤ 64 elements) are allowed.
-* **RPR004** — no ``==`` / ``!=`` on path-cost expressions (identifiers
-  matching dist/distance/cost/bound/total); use
+* **RPR004** — no ``==`` / ``!=`` on float cost expressions; the
+  identifier vocabulary covers path costs (dist/distance/cost/bound/
+  total) and, since the load/serve layers landed, accumulated float
+  times (latency/wait/elapsed/``*_time``).  Use
   :func:`repro.paths.costs_close`.
 * **RPR005** — the registry free functions (``yen_ksp`` ... ``peek_ksp``)
   must stay thin aliases of :func:`repro.solve` — a docstring, the solve
   import, at most simple name bindings, and one ``return solve(...)``.
 
 Suppression: append ``# repro-lint: disable=RPR003`` (comma-separated ids,
-or ``all``) to the offending line.  A file-level
+or ``all``) to the offending statement — the pragma covers every line of
+the statement carrying it, so it works on wrapped calls and on decorated
+functions (see :mod:`repro.analysis.pragmas`).  A file-level
 ``# repro-lint: module=repro/ksp/foo.py`` comment overrides the inferred
 module path — the regression fixtures under ``tests/analysis/fixtures/``
 use it to exercise path-scoped rules from outside the source tree.
@@ -53,6 +60,7 @@ from repro.analysis.findings import (
     findings_to_json,
     render_findings,
 )
+from repro.analysis.pragmas import expand_disabled_lines, parse_pragmas
 
 __all__ = ["RULES", "LintRule", "lint_source", "lint_file", "lint_paths", "main"]
 
@@ -81,13 +89,15 @@ RULES: dict[str, LintRule] = {
         ),
         LintRule(
             "RPR003",
-            "no O(n) numpy allocations inside loops on the KSP/SSSP hot path",
-            "repro/ksp/, repro/sssp/ (workspace.py exempt), and "
-            "repro/parallel/mp_backend.py",
+            "no O(n) numpy allocations inside loops on the KSP/SSSP hot path "
+            "or the serving/load event loops",
+            "repro/ksp/, repro/sssp/ (workspace.py exempt), "
+            "repro/parallel/mp_backend.py, repro/load/, repro/serve/",
         ),
         LintRule(
             "RPR004",
-            "path costs are never compared with == / != (use repro.paths.costs_close)",
+            "float costs (path costs, latencies, accumulated times) are "
+            "never compared with == / != (use repro.paths.costs_close)",
             "everywhere",
         ),
         LintRule(
@@ -104,7 +114,8 @@ _NP_ALLOCATORS = frozenset({"full", "zeros", "ones", "empty"})
 #: constant-size allocations at or below this are not "O(n)" (RPR003)
 _SMALL_ALLOC = 64
 _COST_NAME_RE = re.compile(
-    r"(^|_)(dist|dists|distance|distances|cost|costs|bound|total)($|_)"
+    r"(^|_)(dist|dists|distance|distances|cost|costs|bound|total"
+    r"|latency|latencies|wait|elapsed|time)($|_)"
 )
 #: the registry aliases RPR005 polices (must mirror repro.ksp.registry)
 _ALIAS_FUNCTIONS = frozenset(
@@ -120,9 +131,6 @@ _ALIAS_FUNCTIONS = frozenset(
     }
 )
 
-_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*(disable|module)\s*=\s*([\w./,\- ]+)")
-
-
 def _module_path(filename: str, override: str | None) -> str:
     """Repo-relative module path used for rule scoping.
 
@@ -136,23 +144,6 @@ def _module_path(filename: str, override: str | None) -> str:
         if parts[i] == "repro":
             return "/".join(parts[i:])
     return parts[-1]
-
-
-def _parse_pragmas(source: str) -> tuple[dict[int, frozenset[str]], str | None]:
-    """Per-line disabled-rule sets and the optional module override."""
-    disabled: dict[int, frozenset[str]] = {}
-    module_override: str | None = None
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _PRAGMA_RE.search(line)
-        if not m:
-            continue
-        kind, value = m.group(1), m.group(2)
-        if kind == "module":
-            module_override = value.strip()
-        else:
-            rules = frozenset(v.strip().upper() for v in value.split(","))
-            disabled[lineno] = rules
-    return disabled, module_override
 
 
 def _is_cost_expr(node: ast.expr) -> str | None:
@@ -195,7 +186,9 @@ class _Checker(ast.NodeVisitor):
         )
         self.check_002 = not module.startswith("repro/obs/")
         self.check_003 = (
-            module.startswith(("repro/ksp/", "repro/sssp/"))
+            module.startswith(
+                ("repro/ksp/", "repro/sssp/", "repro/load/", "repro/serve/")
+            )
             or module == "repro/parallel/mp_backend.py"
         ) and not module.endswith("workspace.py")
         self.check_005 = module.startswith("repro/ksp/") or module == "repro/core/peek.py"
@@ -451,7 +444,7 @@ def lint_source(
     source: str, filename: str = "<string>", *, module: str | None = None
 ) -> list[Finding]:
     """Lint one source string; ``module`` overrides the inferred path."""
-    disabled, override = _parse_pragmas(source)
+    raw_disabled, override = parse_pragmas(source, "repro-lint")
     mod = _module_path(filename, module or override)
     try:
         tree = ast.parse(source, filename=filename)
@@ -467,7 +460,7 @@ def lint_source(
                 column=exc.offset,
             )
         ]
-    checker = _Checker(mod, filename, disabled)
+    checker = _Checker(mod, filename, expand_disabled_lines(tree, raw_disabled))
     checker.visit(tree)
     return checker.findings
 

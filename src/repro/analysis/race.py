@@ -278,9 +278,12 @@ class MPBackendFootprints:
     every bucket step.  Tasks ``0..W-1`` are the workers; task ``W`` is the
     committing master.  The shipped decomposition declares
 
-    * a *relax* phase where each worker reads the shared distances of its
-      chunk's sources and writes only its private output region
-      (``out[w]``), and
+    * a *scatter* phase where the master alone writes the shared frontier
+      regions (``self._frontier[:f] = frontier`` in the executor) before
+      signalling the workers,
+    * a *relax* phase where each worker reads its frontier region and the
+      shared distances of its chunk's sources and writes only its private
+      output region (``out[w]``), and
     * a *commit* phase (after the queue-synchronisation barrier) where the
       master alone reads every output region plus the batch targets and
       writes the improved ``dist``/``parent`` slots,
@@ -301,7 +304,9 @@ class MPBackendFootprints:
         nw = len(chunk_sources)
         reads: list[set] = [set() for _ in range(nw + 1)]
         writes: list[set] = [set() for _ in range(nw + 1)]
-        for w in range(nw):
+        # bounded by one bucket step's recorded chunks; the mp driver
+        # checkpoints once per bucket phase
+        for w in range(nw):  # contracts: disable=CTR201 (bounded)
             for u in chunk_sources[w].tolist():
                 reads[w].add(("dist", int(u)))
             if self.racy_commit:
@@ -326,7 +331,28 @@ class MPBackendFootprints:
             )
             return
         master = nw
+        # scatter: the master alone populates the shared frontier regions
+        # the workers are about to read; sequenced before the worker
+        # signal, so it gets its own single-writer phase
         for w in range(nw):
+            writes[master].add(("frontier", w))
+            reads[w].add(("frontier", w))
+        self.phases.append(
+            (
+                f"{label}-scatter",
+                tuple(
+                    Footprint(
+                        reads=(),
+                        writes=tuple(sorted(writes[master]))
+                        if t == master
+                        else (),
+                    )
+                    for t in range(nw + 1)
+                ),
+            )
+        )
+        writes[master].clear()
+        for w in range(nw):  # contracts: disable=CTR201 (bounded)
             reads[master].add(("out", w))
             for v in chunk_targets[w].tolist():
                 reads[master].add(("dist", int(v)))

@@ -282,7 +282,9 @@ def check_result_paths(
     """Returned paths are simple, correctly summed, sorted, and distinct."""
     prev = float("-inf")
     seen: set[tuple[int, ...]] = set()
-    for i, path in enumerate(result.paths):
+    # the sanitizer walks an already-computed result: <= K paths, each
+    # a finite vertex list — no checkpoint needed after kernel exit
+    for i, path in enumerate(result.paths):  # contracts: disable=CTR201 (bounded)
         verts = path.vertices
         if verts[0] != source or verts[-1] != target:
             _fail(
@@ -292,7 +294,7 @@ def check_result_paths(
                 path=i,
             )
         marked: set[int] = set()
-        for v in verts:
+        for v in verts:  # contracts: disable=CTR201 (bounded)
             if v in marked:
                 _fail(
                     "SAN-PATH",
@@ -302,7 +304,7 @@ def check_result_paths(
                 )
             marked.add(v)
         total = 0.0
-        for u, v in zip(verts[:-1], verts[1:]):
+        for u, v in zip(verts[:-1], verts[1:]):  # contracts: disable=CTR201 (bounded)
             w = graph.edge_weight(u, v)
             if w is None:
                 _fail(
@@ -350,7 +352,8 @@ def check_prune_certificate(result, *, rel_tol: float = COST_REL_TOL) -> None:
     if pr is None or not np.isfinite(pr.bound):
         return
     slack = rel_tol * max(1.0, abs(pr.bound))
-    for i, path in enumerate(result.paths):
+    # bounded by the <= K returned paths of a finished run
+    for i, path in enumerate(result.paths):  # contracts: disable=CTR201 (bounded)
         if path.distance > pr.bound + slack:
             _fail(
                 "SAN-PRUNE",

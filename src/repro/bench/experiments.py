@@ -10,7 +10,6 @@ are simulated *from those real executions* via the instrumented cost models
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path as FilePath
 
@@ -18,12 +17,14 @@ import numpy as np
 
 from repro.bench.harness import ExperimentRunner
 from repro.bench.tables import format_table
+from repro.cancel import now
 from repro.core.compaction import adaptive_compact
 from repro.core.peek import PeeK
 from repro.core.pruning import k_upper_bound_prune
 from repro.distributed import CommModel, distributed_peek
 from repro.dyn import TerraceGraph
 from repro.ksp import OptYenKSP
+from repro.serve.query import Query, validate_query
 from repro.parallel import (
     baseline_ksp_workload,
     peek_workload,
@@ -98,6 +99,7 @@ def fig01_coverage(
     cov_v = {k: [] for k in ks}
     cov_e = {k: [] for k in ks}
     for s, t in runner.pairs(graph_name):
+        validate_query(g, Query(source=s, target=t, k=k_max))
         res = PeeK(g, s, t).run(k_max)
         for k in ks:
             prefix = res.paths[: min(k, len(res.paths))]
@@ -189,6 +191,7 @@ def _keep_masks_for_fraction(graph, s, t, k, fraction, seed=0):
     """A keep decision retaining ``fraction`` of edges, never dropping the
     actual K shortest paths (the paper's Fig 6 workload construction)."""
     rng = np.random.default_rng(seed)
+    validate_query(graph, Query(source=s, target=t, k=k))
     res = OptYenKSP(graph, s, t).run(k)
     protected_v = np.zeros(graph.num_vertices, dtype=bool)
     protected_e = np.zeros(graph.num_edges, dtype=bool)
@@ -228,9 +231,9 @@ def fig06_compaction(
         keep_v, keep_e = _keep_masks_for_fraction(g, s, t, k, frac)
         row: list = [100.0 * frac]
         for strategy in ("regeneration", "edge-swap", "status-array"):
-            t0 = time.perf_counter()
+            t0 = now()
             comp = adaptive_compact(g, keep_v, keep_e, force=strategy)
-            t_compact = time.perf_counter() - t0
+            t_compact = now() - t0
             if comp.is_regenerated:
                 regen = comp.compacted
                 inner = OptYenKSP(
@@ -238,9 +241,9 @@ def fig06_compaction(
                 )
             else:
                 inner = OptYenKSP(comp.compacted, s, t)
-            t0 = time.perf_counter()
+            t0 = now()
             inner.run(k)
-            t_ksp = time.perf_counter() - t0
+            t_ksp = now() - t0
             row += [t_compact, t_ksp]
         rows.append(row)
     header = ["kept E %"]
@@ -299,13 +302,14 @@ def fig08_ablation(
         for k in ks:
             sims = {v: [] for v in variants}
             for s, t in runner.pairs(name):
+                validate_query(g, Query(source=s, target=t, k=k))
                 for label, flags in variants.items():
                     # real serial run anchors the unit cost of *this*
                     # variant (Python bookkeeping included), then the
                     # simulator redistributes its measured decomposition
-                    t0 = time.perf_counter()
+                    t0 = now()
                     res = PeeK(g, s, t, **flags).run(k)
-                    measured = time.perf_counter() - t0
+                    measured = now() - t0
                     wl = peek_workload(res)
                     cal = calibrate(wl, measured)
                     sims[label].append(
@@ -352,6 +356,7 @@ def fig09_shared_scaling(
         g = runner.graph(name)
         per_pair = []
         for s, t in runner.pairs(name):
+            validate_query(g, Query(source=s, target=t, k=k))
             res = PeeK(g, s, t).run(k)
             per_pair.append(speedup_curve(peek_workload(res), list(threads)))
         avg = {p: float(np.mean([c[p] for c in per_pair])) for p in threads}
@@ -412,9 +417,9 @@ def fig10_distributed_scaling(
         # GTEPS at the largest configuration, converting units→seconds with
         # the same per-edge cost used for the serial anchor (~30 ns/unit in
         # pure Python — measured, not assumed, by the caller's calibration).
-        t0 = time.perf_counter()
+        t0 = now()
         delta_stepping(g, s)
-        unit_s = (time.perf_counter() - t0) / max(g.num_edges, 1)
+        unit_s = (now() - t0) / max(g.num_edges, 1)
         biggest = nodes[-1]
         gteps_max.append(gteps(edges[biggest], times[biggest] * unit_s))
         rows.append([name] + [curve[nn] for nn in nodes])
@@ -605,29 +610,29 @@ def fig12_terrace(
     for frac in fractions:
         keep_v, keep_e = _keep_masks_for_fraction(g, s, t, 8, frac)
         # ---- PeeK adaptive compaction + SSSP ----
-        t0 = time.perf_counter()
+        t0 = now()
         comp = adaptive_compact(g, keep_v, keep_e)
-        t_compact = time.perf_counter() - t0
+        t_compact = now() - t0
         if comp.is_regenerated:
             target_graph = comp.compacted.graph
             src_v = comp.compacted.map_vertex(s)
         else:
             target_graph = comp.compacted
             src_v = s
-        t0 = time.perf_counter()
+        t0 = now()
         delta_stepping(target_graph, src_v)
-        t_sssp = time.perf_counter() - t0
+        t_sssp = now() - t0
         # ---- Terrace: point-delete the removed edges, then SSSP ----
         tg = TerraceGraph.from_csr(g)
         live = keep_e & keep_v[src_all] & keep_v[g.indices]
         dead = np.flatnonzero(~live)
-        t0 = time.perf_counter()
+        t0 = now()
         if dead.size:
             tg.delete_edges(src_all[dead], g.indices[dead])
-        t_terrace_del = time.perf_counter() - t0
-        t0 = time.perf_counter()
+        t_terrace_del = now() - t0
+        t0 = now()
         tg.sssp(s)
-        t_terrace_sssp = time.perf_counter() - t0
+        t_terrace_sssp = now() - t0
         rows.append(
             [
                 100.0 * frac,

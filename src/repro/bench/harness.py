@@ -20,17 +20,18 @@ Environment knobs (read once at construction):
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro.cancel import deadline_in, now
 from repro.errors import ReproError
 from repro.graph.suite import SUITE_NAMES, random_st_pairs, suite_graph
 from repro.ksp import make_algorithm
 from repro.ksp.base import KSPTimeout
 from repro.obs.tracer import get_tracer
+from repro.serve.query import Query, validate_query
 
 __all__ = ["RunRecord", "ExperimentRunner"]
 
@@ -91,8 +92,9 @@ class ExperimentRunner:
     ) -> RunRecord:
         """Run one algorithm once under the deadline; never raises on timeout."""
         graph = self.graph(graph_name)
-        deadline = time.perf_counter() + self.deadline_seconds
-        t0 = time.perf_counter()
+        validate_query(graph, Query(source=source, target=target, k=k))
+        deadline = deadline_in(self.deadline_seconds)
+        t0 = now()
         try:
             with get_tracer().span(
                 "bench.run",
@@ -106,7 +108,7 @@ class ExperimentRunner:
                     method, graph, source, target, deadline=deadline, **kwargs
                 )
                 result = algo.run(k)
-            seconds = time.perf_counter() - t0
+            seconds = now() - t0
             # cheap independent audit outside the timed region: endpoints,
             # simplicity, edge existence, distances, ordering
             from repro.verify import verify_ksp_result
@@ -133,7 +135,7 @@ class ExperimentRunner:
                 k=k,
                 source=source,
                 target=target,
-                seconds=time.perf_counter() - t0,
+                seconds=now() - t0,
                 timed_out=True,
             )
 
@@ -157,9 +159,9 @@ class ExperimentRunner:
         self, fn: Callable[[], object]
     ) -> tuple[float, object]:
         """Time an arbitrary zero-arg callable once."""
-        t0 = time.perf_counter()
+        t0 = now()
         out = fn()
-        return time.perf_counter() - t0, out
+        return now() - t0, out
 
     def check_same_distances(self, records: list[RunRecord]) -> None:
         """Assert every completed record on the same query found the same

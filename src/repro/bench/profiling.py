@@ -62,7 +62,9 @@ def stage_breakdown(graph, source: int, target: int, k: int, **peek_kwargs) -> S
     ablation flags and all — not a re-enactment of it.
     """
     from repro.core.peek import PeeK
+    from repro.serve.query import Query, validate_query
 
+    validate_query(graph, Query(source=source, target=target, k=k))
     pipeline = PeeK(graph, source, target, **peek_kwargs)
     with use_tracer(Tracer()) as tracer:
         result = pipeline.run(k)

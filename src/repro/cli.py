@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import ExperimentRunner
+from repro.cancel import now
 
 __all__ = ["main"]
 
@@ -156,9 +156,9 @@ def _dispatch(args) -> int:
     runner = ExperimentRunner(**kwargs)
 
     for name in wanted:
-        t0 = time.perf_counter()
+        t0 = now()
         report = ALL_EXPERIMENTS[name](runner)
-        elapsed = time.perf_counter() - t0
+        elapsed = now() - t0
         print(report.render())
         path = report.save(args.out)
         print(f"[{name} finished in {elapsed:.1f}s; saved to {path}]\n")

@@ -21,12 +21,11 @@ below ``α · m`` and edge-swaps otherwise.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cancel import cancellation_active, checkpoint
+from repro.cancel import cancellation_active, checkpoint, now
 from repro.errors import GraphFormatError, VertexError
 from repro.graph.csr import CSRGraph
 
@@ -313,7 +312,7 @@ def adaptive_compact(
 
     ``force`` overrides the rule with a named strategy (benchmarks use it).
 
-    ``deadline`` (absolute ``time.perf_counter()``) is checked before the
+    ``deadline`` (absolute, on the installed clock) is checked before the
     mask combination and again before the strategy build — each is one
     vectorised pass, so those two checkpoints bound the overshoot at a
     single build's cost.  Exceeding it raises
@@ -339,7 +338,7 @@ def adaptive_compact(
 
     if check_cancel:
         checkpoint(deadline, "compact.build")
-    t0 = time.perf_counter()
+    t0 = now()
     if strategy == "regeneration":
         compacted: object = compact_regenerate(graph, keep_vertices, keep_edges)
         # reads m_a + 2n, writes m_r + 2n_r (§5.4's accounting)
@@ -352,7 +351,7 @@ def adaptive_compact(
         build_work = graph.num_vertices + graph.num_edges
     else:
         raise ValueError(f"unknown compaction strategy {strategy!r}")
-    build_seconds = time.perf_counter() - t0
+    build_seconds = now() - t0
 
     return CompactionResult(
         strategy=strategy,

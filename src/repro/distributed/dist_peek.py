@@ -296,7 +296,14 @@ def distributed_peek(
     deadline: float | None = None,
     **kwargs,
 ) -> DistributedPeeKReport:
-    """Convenience wrapper: ``DistributedPeeK(...).run(k, deadline=...)``."""
+    """Convenience wrapper: ``DistributedPeeK(...).run(k, deadline=...)``.
+
+    Validates the query up front with the library-wide taxonomy, so the
+    distributed entry rejects bad requests exactly like :func:`repro.solve`.
+    """
+    from repro.serve.query import Query, validate_query
+
+    validate_query(graph, Query(source=source, target=target, k=k))
     return DistributedPeeK(graph, source, target, num_nodes, **kwargs).run(
         k, deadline=deadline
     )

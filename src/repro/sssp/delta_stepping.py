@@ -273,7 +273,9 @@ class _ScalarEngine:
         batch_src: list[int] = []
         batch_tgt: list[int] = []
         nedges = 0
-        for u in frontier.tolist():
+        # one bucket's frontier; the driver checkpoints per bucket phase
+        # (the documented policy in repro/cancel.py)
+        for u in frontier.tolist():  # contracts: disable=CTR201 (bounded)
             if self.light_ends is not None:
                 if light:
                     lo, hi = self.begins[u], self.light_ends[u]

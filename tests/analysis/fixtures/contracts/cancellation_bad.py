@@ -1,0 +1,8 @@
+"""Cancellation pass fixture: hot loop under solve() never checkpoints."""
+# contracts: module=repro/fixture/cancellation_bad.py
+
+
+def solve(graph, deadline):
+    while True:  # CTR201: unbounded, no checkpoint on this path
+        if graph.step(deadline):
+            return graph

@@ -1,0 +1,14 @@
+"""Cancellation pass fixture: the same loop, checkpointed — silent."""
+# contracts: module=repro/fixture/cancellation_good.py
+
+
+def checkpoint(deadline, stage):
+    """Stand-in for repro.cancel.checkpoint (coverage is name-based)."""
+    del deadline, stage
+
+
+def solve(graph, deadline):
+    while True:
+        checkpoint(deadline, "fixture.loop")
+        if graph.step(deadline):
+            return graph

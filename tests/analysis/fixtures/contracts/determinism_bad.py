@@ -1,0 +1,13 @@
+"""Determinism pass fixture: every CTR1xx violation in one module."""
+# contracts: module=repro/fixture/determinism_bad.py
+
+import random
+import time
+
+RNG = random.Random()  # CTR103: RNG object parked in a module global
+
+
+def solve(graph, source, target, k):
+    jitter = random.random()  # CTR101: entry-reachable module-state draw
+    started = time.time()  # CTR102: wall clock outside repro/cancel.py
+    return graph, source, target, k, jitter, started

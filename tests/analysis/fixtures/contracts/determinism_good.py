@@ -1,0 +1,8 @@
+"""Determinism pass fixture: seeded RNG and injected clock — silent."""
+# contracts: module=repro/fixture/determinism_good.py
+
+
+def solve(graph, source, target, k, rng, clock):
+    jitter = rng.random()  # explicit seeded generator, passed down
+    started = clock()  # injected clock read, not a wall-clock call
+    return graph, source, target, k, jitter, started

@@ -1,0 +1,8 @@
+"""Entry pass fixture: solve() hits the kernel with a raw query."""
+# contracts: module=repro/fixture/entry_bad.py
+
+from repro.ksp.fixture_kernel import run_kernel
+
+
+def solve(graph, source, target, k):
+    return run_kernel(graph, source, target, k)  # CTR501: not validated

@@ -1,0 +1,15 @@
+"""Entry pass fixture: solve() validates before the kernel — silent."""
+# contracts: module=repro/fixture/entry_good.py
+
+from repro.ksp.fixture_kernel import run_kernel
+
+
+def validate_query(graph, query):
+    """Stand-in validator (classification is name-based)."""
+    if query[0] < 0 or query[0] >= len(graph):
+        raise ValueError("bad source")
+
+
+def solve(graph, source, target, k):
+    validate_query(graph, (source, target, k))
+    return run_kernel(graph, source, target, k)

@@ -1,0 +1,6 @@
+"""Entry pass fixture: a module masquerading as KSP kernel code."""
+# contracts: module=repro/ksp/fixture_kernel.py
+
+
+def run_kernel(graph, source, target, k):
+    return graph[source][target][:k]

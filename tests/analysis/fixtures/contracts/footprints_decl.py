@@ -1,0 +1,15 @@
+"""Footprint fixture: recorder declarations the audit diffs against.
+
+Declares writes to ``out`` and ``dist`` — and to ``stale``, which no
+audited phase function writes (seeded CTR402).
+"""
+# contracts: module=repro/fixture/footprints_decl.py
+
+
+class FixtureFootprints:
+    def record_step(self, writes, num_workers):
+        for w in range(num_workers):
+            writes[w].add(("out", w))
+        master = writes[num_workers]  # alias of a writes[...] cell
+        master.add(("dist", 0))
+        master.add(("stale", 0))  # CTR402: declaration drifted from code

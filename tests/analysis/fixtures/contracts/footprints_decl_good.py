@@ -1,0 +1,12 @@
+"""Footprint fixture: declarations matching the good kernel exactly.
+
+Uses the ``comm.record_writes`` generator form so the extractor's second
+declaration shape is exercised too.
+"""
+# contracts: module=repro/fixture/footprints_decl_good.py
+
+
+class FixtureFootprints:
+    def record_step(self, comm, rank, chunks):
+        comm.record_writes(rank, (("out", c) for c in chunks))
+        comm.record_writes(rank, [("dist", 0)])

@@ -1,0 +1,9 @@
+"""Footprint fixture: phase function writing an undeclared shared array."""
+# contracts: module=repro/fixture/footprints_kernel_bad.py
+
+
+def relax_chunk(dist, parent, out, frontier):
+    for i in range(frontier.size):
+        out[i] = dist[frontier[i]]
+        parent[frontier[i]] = i  # CTR401: 'parent' never declared
+    dist[0] = out[0]

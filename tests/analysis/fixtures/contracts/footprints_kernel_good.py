@@ -1,0 +1,12 @@
+"""Footprint fixture: phase writes exactly what the recorder declares."""
+# contracts: module=repro/fixture/footprints_kernel_good.py
+
+
+def relax_chunk(dist, parent, out, frontier):
+    for i in range(frontier.size):
+        out[i] = dist[frontier[i]] + 1.0
+    _commit(dist, out)
+
+
+def _commit(dist, out):
+    dist[0] = out[0]  # the param-write summary credits relax_chunk

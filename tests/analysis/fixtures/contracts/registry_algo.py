@@ -1,0 +1,12 @@
+"""Registry fixture: the algorithm class behind the indirection."""
+# contracts: module=repro/ksp/fixture_algo.py
+
+
+class FixtureAlgorithm:
+    def __init__(self, graph, source, target):
+        self.graph = graph
+        self.source = source
+        self.target = target
+
+    def run(self, k):
+        return [self.graph] * k

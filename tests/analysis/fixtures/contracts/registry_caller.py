@@ -1,0 +1,9 @@
+"""Registry fixture: a caller reaching an algorithm only via the registry."""
+# contracts: module=repro/fixture/registry_caller.py
+
+from repro.ksp.registry import make_algorithm
+
+
+def drive(graph, source, target, k):
+    algo = make_algorithm("fixture", graph, source, target)
+    return algo.run(k)

@@ -1,0 +1,30 @@
+"""Registry fixture: masquerades as the AlgorithmSpec registry module.
+
+The call graph must resolve ``make_algorithm(...)`` through the
+``_spec(...)`` table below to :class:`FixtureAlgorithm` — the same
+indirection the real ``repro/ksp/registry.py`` uses.
+"""
+# contracts: module=repro/ksp/registry.py
+
+from dataclasses import dataclass
+
+from repro.ksp.fixture_algo import FixtureAlgorithm
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    name: str
+    factory: object
+
+
+def _spec(name, factory):
+    return AlgorithmSpec(name, factory)
+
+
+ALGORITHMS = {
+    "fixture": _spec("fixture", FixtureAlgorithm),
+}
+
+
+def make_algorithm(name, graph, source, target):
+    return ALGORITHMS[name].factory(graph, source, target)

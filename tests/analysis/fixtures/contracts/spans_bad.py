@@ -1,0 +1,9 @@
+"""Span pass fixture: manual open, close skipped on the exception edge."""
+# contracts: module=repro/fixture/spans_bad.py
+
+
+def traced_run(tracer, kernel):
+    handle = tracer.span("ksp").__enter__()  # CTR301
+    out = kernel.run()  # a raise here skips the __exit__ below
+    handle.__exit__(None, None, None)
+    return out

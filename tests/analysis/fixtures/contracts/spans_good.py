@@ -1,0 +1,23 @@
+"""Span pass fixture: try/finally pairing and a closing helper — silent."""
+# contracts: module=repro/fixture/spans_good.py
+
+
+def traced_run(tracer, kernel):
+    handle = tracer.span("ksp").__enter__()
+    try:
+        return kernel.run()
+    finally:
+        handle.__exit__(None, None, None)
+
+
+def close_span(handle):
+    """A helper the close summary must credit to its caller."""
+    handle.close()
+
+
+def handoff_run(tracer, kernel):
+    handle = tracer.span("ksp")
+    try:
+        return kernel.run()
+    finally:
+        close_span(handle)  # interprocedural close, via the summary

@@ -85,6 +85,23 @@ def test_mp_backend_in_rpr003_scope():
     assert lint_source(src, "src/repro/parallel/scheduler.py") == []
 
 
+def test_load_and_serve_layers_in_rpr003_scope():
+    src = "import numpy as np\ndef f(n):\n    for _ in range(3):\n        np.zeros(n)\n"
+    for path in (
+        "src/repro/load/driver.py",
+        "src/repro/serve/server.py",
+    ):
+        assert [f.rule for f in lint_source(src, path)] == ["RPR003"], path
+    # the analysis tooling itself stays out of the hot-path scope
+    assert lint_source(src, "src/repro/analysis/race.py") == []
+
+
+def test_rpr004_covers_load_latency_accumulators():
+    src = "def f(latency, waits):\n    return latency == waits[0]\n"
+    findings = lint_source(src, "src/repro/load/metrics.py")
+    assert [f.rule for f in findings] == ["RPR004"]
+
+
 def test_workspace_module_exempt_from_rpr003():
     src = "import numpy as np\ndef f(n):\n    for _ in range(3):\n        np.zeros(n)\n"
     assert lint_source(src, "src/repro/sssp/workspace.py") == []
