@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow lint contracts bench bench-hot bench-serving example-tuning
+.PHONY: test test-fast test-slow lint contracts bench bench-hot bench-serving bench-dyn example-tuning
 
 ## Tier-1 suite: the full gate every change must keep green.
 test:
@@ -42,6 +42,12 @@ bench-hot:
 ## Writes BENCH_serving.json and results/serving_capacity.txt.
 bench-serving:
 	$(PYTHON) benchmarks/bench_serving.py
+
+## Live-graph serving benchmark: prune-bound reuse under seeded
+## mutation streams.  Writes BENCH_dyn_serving.json and
+## results/dyn_serving.txt.
+bench-dyn:
+	$(PYTHON) benchmarks/bench_dyn_serving.py
 
 ## The performance-tuning walkthrough (includes the workspace act).
 example-tuning:

@@ -18,10 +18,11 @@ Rules (catalogue with examples in ``docs/correctness_tooling.md``):
   corrupts the whole stage tree.  ``repro/obs/`` itself is exempt.
 * **RPR003** — no O(n) ``np.full`` / ``np.zeros`` / ``np.ones`` /
   ``np.empty`` allocations lexically inside loops in ``repro/ksp/``,
-  ``repro/sssp/``, ``repro/parallel/mp_backend.py``, ``repro/load/``
-  and ``repro/serve/`` (the serving/load event loops run one iteration
-  per request, so a per-iteration O(n) alloc is a per-query tax exactly
-  like a per-spur one); per-spur state must route through
+  ``repro/sssp/``, ``repro/parallel/mp_backend.py``, ``repro/load/``,
+  ``repro/serve/`` and ``repro/dyn/`` (the serving/load event loops run
+  one iteration per request and the Terrace update loops one rebuild per
+  touched vertex, so a per-iteration O(n) alloc is a per-query tax
+  exactly like a per-spur one); per-spur state must route through
   :class:`~repro.sssp.workspace.SSSPWorkspace`.  Small constant-size
   allocations (≤ 64 elements) are allowed.
 * **RPR004** — no ``==`` / ``!=`` on float cost expressions; the
@@ -92,7 +93,8 @@ RULES: dict[str, LintRule] = {
             "no O(n) numpy allocations inside loops on the KSP/SSSP hot path "
             "or the serving/load event loops",
             "repro/ksp/, repro/sssp/ (workspace.py exempt), "
-            "repro/parallel/mp_backend.py, repro/load/, repro/serve/",
+            "repro/parallel/mp_backend.py, repro/load/, repro/serve/, "
+            "repro/dyn/",
         ),
         LintRule(
             "RPR004",
@@ -187,7 +189,13 @@ class _Checker(ast.NodeVisitor):
         self.check_002 = not module.startswith("repro/obs/")
         self.check_003 = (
             module.startswith(
-                ("repro/ksp/", "repro/sssp/", "repro/load/", "repro/serve/")
+                (
+                    "repro/ksp/",
+                    "repro/sssp/",
+                    "repro/load/",
+                    "repro/serve/",
+                    "repro/dyn/",
+                )
             )
             or module == "repro/parallel/mp_backend.py"
         ) and not module.endswith("workspace.py")

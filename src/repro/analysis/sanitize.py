@@ -17,7 +17,9 @@ under 2× the untraced runtime on the medium suite).
 
 Check ids: ``SAN-CSR`` (CSR structure), ``SAN-VIEW`` (compaction views),
 ``SAN-PATH`` (result paths), ``SAN-PRUNE`` (PeeK prune certificate),
-``SAN-WS`` (workspace epoch integrity).
+``SAN-WS`` (workspace epoch integrity), ``SAN-DYN`` (live-graph
+prune-bound reuse: a reused prune must match a cold re-prune on the
+current snapshot).
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ __all__ = [
     "check_regenerated",
     "check_result_paths",
     "check_prune_certificate",
+    "check_dyn_reuse",
     "check_workspace",
     "run_sanitized",
 ]
@@ -376,6 +379,66 @@ def check_prune_certificate(result, *, rel_tol: float = COST_REL_TOL) -> None:
                 vertex=v,
                 bound=float(pr.bound),
             )
+
+
+def check_dyn_reuse(
+    graph,
+    prune,
+    source: int,
+    target: int,
+    k: int,
+    *,
+    kernel: str = "delta",
+    strong_edge_prune: bool = False,
+) -> None:
+    """Live-graph reuse audit: a reused prune must equal a cold re-prune.
+
+    :meth:`repro.core.batch.BatchPeeK.prepare` may answer a query from a
+    cached pruning decision when the mutation batches since it was
+    computed satisfied :func:`repro.core.pruning.prune_reuse_certificate`.
+    This check recomputes the prune from scratch on the *current*
+    snapshot and asserts the certificate's promise: the K upper bound
+    agrees (to :data:`~repro.paths.COST_REL_TOL`) and the kept-vertex set
+    is identical.  Expensive (two SSSPs + a spSum scan), so it only runs
+    under sanitizers.
+    """
+    from repro.core.pruning import k_upper_bound_prune
+
+    cold = k_upper_bound_prune(
+        graph,
+        source,
+        target,
+        k,
+        kernel=kernel,
+        strong_edge_prune=strong_edge_prune,
+    )
+    both_inf = not (np.isfinite(prune.bound) or np.isfinite(cold.bound))
+    if not both_inf and not costs_close(prune.bound, cold.bound):
+        _fail(
+            "SAN-DYN",
+            f"reused prune bound {prune.bound!r} disagrees with a cold "
+            f"re-prune's bound {cold.bound!r} for query "
+            f"({source}, {target}, k={k}) — the reuse certificate admitted "
+            "a batch it should have refused",
+            source=source,
+            target=target,
+            k=k,
+            reused_bound=float(prune.bound),
+            cold_bound=float(cold.bound),
+        )
+    if not np.array_equal(prune.keep_vertices, cold.keep_vertices):
+        delta = np.flatnonzero(prune.keep_vertices != cold.keep_vertices)
+        v = int(delta[0])
+        _fail(
+            "SAN-DYN",
+            f"reused kept-vertex set disagrees with a cold re-prune at "
+            f"vertex {v} (reused keeps it: {bool(prune.keep_vertices[v])}) "
+            f"for query ({source}, {target}, k={k})",
+            source=source,
+            target=target,
+            k=k,
+            vertex=v,
+        )
 
 
 def check_workspace(ws) -> None:

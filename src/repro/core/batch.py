@@ -20,6 +20,17 @@ steps 2–3 code path as :func:`~repro.core.pruning.k_upper_bound_prune`,
 so batched results stay bitwise identical to single-query PeeK (tested).
 :class:`repro.serve.QueryServer` builds on :meth:`BatchPeeK.prepare` to
 drive the KSP stage incrementally under a deadline.
+
+With ``versioned=True`` the batch solver also serves *live* graphs
+(:class:`repro.dyn.live.LiveGraph`): :meth:`BatchPeeK.rebind` moves it to
+a new snapshot, surgically invalidating only the SSSP cache entries whose
+trees touch mutated vertices and only the prepared pruning decisions the
+Yamane–Kitajima-style reuse certificate
+(:func:`~repro.core.pruning.prune_reuse_certificate`) cannot carry
+forward.  A certificate-carried query skips both SSSPs and the spSum
+scan entirely — the incremental re-solve the paper's dynamic Figure 12
+workload motivates — and stays bitwise-identical to a cold solve on the
+same snapshot (tested; audited by SAN-DYN under sanitizers).
 """
 
 from __future__ import annotations
@@ -34,8 +45,14 @@ from repro.core.compaction import (
     RegeneratedGraph,
     adaptive_compact,
 )
+from repro.analysis.sanitize import check_dyn_reuse, sanitize_enabled_from_env
 from repro.core.peek import PeeKResult
-from repro.core.pruning import PruneResult, PruneStats, bound_and_masks
+from repro.core.pruning import (
+    PruneResult,
+    PruneStats,
+    bound_and_masks,
+    prune_reuse_certificate,
+)
 from repro.errors import KSPError, UnreachableTargetError, VertexError
 from repro.ksp.optyen import OptYenKSP
 from repro.obs.tracer import get_tracer
@@ -64,6 +81,9 @@ class PreparedQuery:
     prune: PruneResult
     compaction: CompactionResult
     regen: RegeneratedGraph | None
+    #: graph snapshot version the prune/compaction were computed against
+    #: (0 for static graphs; stamped by versioned :class:`BatchPeeK`)
+    version: int = 0
 
     def map_paths(self, paths) -> list[Path]:
         """Inner-graph paths → original vertex ids."""
@@ -110,6 +130,17 @@ class BatchPeeK:
         Let each query's KSP stage reuse an epoch-stamped SSSP workspace
         across its spur searches, exactly as :class:`~repro.core.peek.PeeK`
         does (default).  ``False`` restores fresh-allocation searches.
+    versioned:
+        Serve a *live* graph: :meth:`rebind` accepts new snapshots, the
+        SSSP cache is invalidated region-by-region instead of wholesale,
+        and pruning decisions are memoised per ``(source, target, k)``
+        and carried across versions when the reuse certificate allows.
+        Off by default — static-graph behaviour is bit-for-bit unchanged.
+    prepared_cache_size:
+        LRU bound on memoised pruning decisions (versioned mode only).
+    sanitize:
+        Audit every certificate-carried reuse with SAN-DYN (a cold
+        re-prune comparison).  ``RPR_SANITIZE=1`` enables it regardless.
     """
 
     def __init__(
@@ -121,19 +152,35 @@ class BatchPeeK:
         alpha: float = 0.1,
         strong_edge_prune: bool = False,
         use_workspace: bool = True,
+        versioned: bool = False,
+        prepared_cache_size: int = 32,
+        sanitize: bool = False,
     ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        if prepared_cache_size < 1:
+            raise ValueError("prepared_cache_size must be >= 1")
         self.graph = graph
         self.kernel = kernel
         self.alpha = alpha
         self.strong_edge_prune = strong_edge_prune
         self.use_workspace = use_workspace
+        self.versioned = versioned
+        self.sanitize = sanitize
         self._cache_size = cache_size
         #: one LRU over both directions, keyed ("fwd"|"rev", root)
         self._cache: OrderedDict[tuple[str, int], object] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: current snapshot version (monotone; stays 0 for static graphs)
+        self.version = 0
+        self._prepared_size = prepared_cache_size
+        #: memoised pruning decisions, keyed (source, target, k)
+        self._prepared: OrderedDict[tuple[int, int, int], dict] = OrderedDict()
+        self.invalidated = 0
+        self.retained = 0
+        self.prune_reused = 0
+        self.prune_cold = 0
 
     # ------------------------------------------------------------------
     def _sssp(self, direction: str, graph, root: int, deadline: float | None):
@@ -164,6 +211,56 @@ class BatchPeeK:
         return self._sssp("rev", self.graph.reverse(), target, deadline)
 
     # ------------------------------------------------------------------
+    def rebind(self, graph, *, version: int, summary) -> None:
+        """Move the solver to a new graph snapshot (versioned mode).
+
+        Region-keyed invalidation instead of :meth:`clear_cache`'s
+        wholesale drop:
+
+        * an SSSP cache entry survives iff **no** touched vertex has a
+          finite cached distance — then no mutated edge was reachable in
+          its tree, so the entry is bitwise-valid on the new snapshot
+          (the first mutated edge on any would-be-new path has a
+          reachable — finite, touched — source);
+        * a memoised pruning decision survives iff
+          :func:`~repro.core.pruning.prune_reuse_certificate` accepts the
+          batch, in which case it is re-stamped to ``version`` (eager
+          per-batch evaluation, so certificates compose across batches).
+
+        ``summary`` is the :class:`~repro.dyn.stream.MutationSummary` of
+        the batch that produced ``graph``; ``version`` the new snapshot's
+        monotone id.
+        """
+        if version <= self.version:
+            raise ValueError(
+                f"rebind version {version} is not beyond {self.version}"
+            )
+        self.graph = graph
+        self.version = version
+        touched = summary.touched
+        stale = [
+            key
+            for key, res in self._cache.items()
+            if touched.size and bool(np.isfinite(res.dist[touched]).any())
+        ]
+        for key in stale:
+            del self._cache[key]
+        dead = [
+            key
+            for key, entry in self._prepared.items()
+            if not prune_reuse_certificate(entry["prune"], summary)
+        ]
+        for key in dead:
+            del self._prepared[key]
+        for entry in self._prepared.values():
+            entry["version"] = version
+        self.invalidated += len(stale) + len(dead)
+        self.retained += len(self._cache) + len(self._prepared)
+        tracer = get_tracer()
+        tracer.add("batch.invalidated", len(stale) + len(dead))
+        tracer.add("batch.retained", len(self._cache) + len(self._prepared))
+
+    # ------------------------------------------------------------------
     def prepare(
         self,
         source: int,
@@ -188,6 +285,27 @@ class BatchPeeK:
         if k < 1:
             raise ValueError("k must be >= 1")
         tracer = get_tracer()
+        if self.versioned:
+            entry = self._prepared.get((source, target, k))
+            if entry is not None:
+                # certificate-carried (or same-version) reuse: skip both
+                # SSSPs, the spSum scan, and the compaction build
+                self._prepared.move_to_end((source, target, k))
+                self.prune_reused += 1
+                tracer.add("batch.prune_reuse")
+                if self.sanitize or sanitize_enabled_from_env():
+                    check_dyn_reuse(
+                        self.graph,
+                        entry["prune"],
+                        source,
+                        target,
+                        k,
+                        kernel=self.kernel,
+                        strong_edge_prune=self.strong_edge_prune,
+                    )
+                return self._materialise(entry, deadline)
+            self.prune_cold += 1
+            tracer.add("batch.prune_cold")
         with tracer.span("prune", k=k, kernel=self.kernel):
             fwd = self.forward_sssp(source, deadline=deadline)
             rev = self.reverse_sssp(target, deadline=deadline)
@@ -216,8 +334,36 @@ class BatchPeeK:
             )
             if tracer.enabled:
                 span.attrs["strategy"] = comp.strategy
-        if isinstance(comp.compacted, RegeneratedGraph):
-            regen = comp.compacted
+        regen = (
+            comp.compacted
+            if isinstance(comp.compacted, RegeneratedGraph)
+            else None
+        )
+        entry = {
+            "source": source,
+            "target": target,
+            "k": k,
+            "prune": pr,
+            "compaction": comp,
+            "regen": regen,
+            "version": self.version,
+        }
+        if self.versioned:
+            self._prepared[(source, target, k)] = entry
+            if len(self._prepared) > self._prepared_size:
+                self._prepared.popitem(last=False)
+        return self._materialise(entry, deadline)
+
+    def _materialise(self, entry: dict, deadline: float | None) -> PreparedQuery:
+        """Build a fresh inner solver over a (possibly cached) compaction.
+
+        The solver is per-call because the deadline is per-query; the
+        expensive parts (prune + compaction) come from ``entry``.
+        """
+        comp: CompactionResult = entry["compaction"]
+        regen = entry["regen"]
+        source, target, k = entry["source"], entry["target"], entry["k"]
+        if regen is not None:
             inner = OptYenKSP(
                 regen.graph,
                 regen.map_vertex(source),
@@ -226,7 +372,6 @@ class BatchPeeK:
                 use_workspace=self.use_workspace,
             )
         else:
-            regen = None
             inner = OptYenKSP(
                 comp.compacted,
                 source,
@@ -239,9 +384,10 @@ class BatchPeeK:
             target=target,
             k=k,
             inner=inner,
-            prune=pr,
+            prune=entry["prune"],
             compaction=comp,
             regen=regen,
+            version=entry["version"],
         )
 
     def query(
@@ -265,15 +411,27 @@ class BatchPeeK:
     # ------------------------------------------------------------------
     @property
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss counters plus current cache occupancy per direction."""
+        """Hit/miss counters plus current cache occupancy per direction.
+
+        Versioned mode adds the rebind accounting: cumulative entries
+        ``invalidated``/``retained`` across all rebinds, the memoised
+        pruning-decision occupancy, and the reuse split
+        (``prune_reused``/``prune_cold``).
+        """
         fwd = sum(1 for d, _ in self._cache if d == "fwd")
         return {
             "hits": self.hits,
             "misses": self.misses,
             "forward_cached": fwd,
             "reverse_cached": len(self._cache) - fwd,
+            "prepared_cached": len(self._prepared),
+            "invalidated": self.invalidated,
+            "retained": self.retained,
+            "prune_reused": self.prune_reused,
+            "prune_cold": self.prune_cold,
         }
 
     def clear_cache(self) -> None:
-        """Drop all cached SSSP results (e.g. after the graph changed)."""
+        """Drop all cached SSSP results and memoised pruning decisions."""
         self._cache.clear()
+        self._prepared.clear()

@@ -28,7 +28,13 @@ from repro.paths import INF
 from repro.sssp.delta_stepping import delta_stepping
 from repro.sssp.dijkstra import dijkstra
 
-__all__ = ["PruneStats", "PruneResult", "bound_and_masks", "k_upper_bound_prune"]
+__all__ = [
+    "PruneStats",
+    "PruneResult",
+    "bound_and_masks",
+    "k_upper_bound_prune",
+    "prune_reuse_certificate",
+]
 
 
 @dataclass
@@ -217,6 +223,50 @@ def bound_and_masks(
         sp_sum=sp_sum,
         stats=stats,
     )
+
+
+def prune_reuse_certificate(prune: PruneResult, summary) -> bool:
+    """Can ``prune`` survive the mutation batch described by ``summary``?
+
+    The Yamane–Kitajima-style reuse argument (PAPERS.md): if a batch is
+    weight-increase-only (no effective inserts, no effective decreases)
+    and every removed/increased edge and every tombstoned vertex lies
+    *outside* the kept region, then
+
+    * distances of kept vertices are unchanged — every shortest path to a
+      kept vertex runs entirely through kept vertices over edges at most
+      the threshold (the spSum triangle argument of Lemma 4.2), and
+      increase-only mutations cannot create shorter paths;
+    * hence ``sp_sum`` over kept vertices, the spSum scan, the K upper
+      bound ``b``, ``keep_vertices``, and the compacted graph are all
+      identical to what a cold re-prune on the new snapshot would
+      produce — reusing the cached compaction yields bitwise-identical
+      K shortest paths (ties aside, which are measure-zero for the
+      float-weighted graphs this repo generates; SAN-DYN audits the
+      equality at runtime when sanitizers are on).
+
+    "Outside the kept region" is evaluated against the same slack-widened
+    threshold :func:`bound_and_masks` used to build the masks, so an edge
+    exactly at the bound counts as inside (conservative).  Returns
+    ``False`` whenever reuse cannot be *proved* — a cold re-solve is
+    always sound.
+    """
+    if summary.has_insert or summary.has_decrease:
+        return False
+    keep = prune.keep_vertices
+    if summary.tombstoned.size and keep[summary.tombstoned].any():
+        return False
+    if summary.up_src.size:
+        slack = prune.bound * 1e-9 if np.isfinite(prune.bound) else 0.0
+        threshold = prune.bound + slack
+        inside = (
+            keep[summary.up_src]
+            & keep[summary.up_dst]
+            & (summary.up_old_w <= threshold)
+        )
+        if inside.any():
+            return False
+    return True
 
 
 def k_upper_bound_prune(

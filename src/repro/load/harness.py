@@ -15,7 +15,13 @@ The model is a G/G/c/K queueing station in front of the real server:
 Each admitted query is *actually served* — the full PeeK → OptYen →
 partial degradation chain runs, with the per-query deadline anchored at
 the arrival instant — but on a :class:`~repro.load.simclock.SimClock`
-that advances per cooperative checkpoint.  Queries overlap in simulated
+that advances per cooperative checkpoint.  A run may also carry a
+*mutation feed* (``run(..., mutations=...)``): timed
+:class:`~repro.dyn.stream.MutationBatch` values applied through
+:meth:`QueryServer.apply_mutations <repro.serve.QueryServer.apply_mutations>`
+before dispatching any query issued at or after each batch's ``at``
+instant, so live-graph serving runs on the same deterministic timeline
+as the queries themselves.  Queries overlap in simulated
 time while executing sequentially in real time: the harness jumps the
 clock to each query's start instant and lets the pipeline advance it,
 then schedules the completion back into the event heap.  Everything
@@ -113,6 +119,8 @@ class LoadReport:
     peak_in_flight: int = 0
     #: checkpoint ticks the clock advanced through (work proxy)
     clock_ticks: int = 0
+    #: mutation batches applied from the run's mutation feed
+    mutation_batches: int = 0
 
     def count(self, disposition: str) -> int:
         return sum(1 for log in self.logs if log.disposition == disposition)
@@ -150,6 +158,7 @@ class LoadReport:
             "queue_p50": _round(percentile(queue_times, 50)),
             "queue_p99": _round(percentile(queue_times, 99)),
             "peak_in_flight": self.peak_in_flight,
+            "mutation_batches": self.mutation_batches,
         }
         for disposition in DISPOSITIONS:
             out[f"{disposition}_rate"] = (
@@ -160,6 +169,29 @@ class LoadReport:
 
 def _round(value: float | None) -> float | None:
     return round(value, 6) if value is not None else None
+
+
+class _MutationFeed:
+    """Applies a time-ordered mutation stream as the run reaches it."""
+
+    def __init__(self, batches, server: QueryServer) -> None:
+        self._it = iter(batches) if batches is not None else iter(())
+        self._server = server
+        self._next = next(self._it, None)
+        self.applied = 0
+
+    def advance_to(self, t: float) -> None:
+        """Apply every pending batch with ``at <= t``, in order.
+
+        Lazy: the next batch is only pulled from the stream after the
+        previous one was applied, so generators that sample the *current*
+        graph state (:meth:`~repro.dyn.stream.IncidentStream.batches`)
+        see exactly the state their batch will apply to.
+        """
+        while self._next is not None and self._next.at <= t:
+            self._server.apply_mutations(self._next)
+            self.applied += 1
+            self._next = next(self._it, None)
 
 
 class _Station:
@@ -252,17 +284,29 @@ class LoadHarness:
         *,
         horizon: float,
         max_queries: int | None = None,
+        mutations=None,
     ) -> LoadReport:
         """Run one experiment: ``traffic`` may be an open-loop arrival
-        process, a closed-loop population, or a query list (trace)."""
+        process, a closed-loop population, or a query list (trace).
+
+        ``mutations`` is an optional time-ordered iterable of
+        :class:`~repro.dyn.stream.MutationBatch` (e.g.
+        :meth:`IncidentStream.batches
+        <repro.dyn.stream.IncidentStream.batches>`); each batch is
+        applied via :meth:`QueryServer.apply_mutations
+        <repro.serve.QueryServer.apply_mutations>` before dispatching any
+        query issued at or after its ``at`` instant.  Requires a server
+        built over a :class:`~repro.dyn.live.LiveGraph`.
+        """
+        feed = _MutationFeed(mutations, self.server)
         if isinstance(traffic, ClosedLoop):
-            return self._run_closed(traffic, horizon, max_queries)
+            return self._run_closed(traffic, horizon, max_queries, feed)
         if isinstance(traffic, ArrivalProcess):
             return self._run_open(
-                self._generate(traffic, horizon, max_queries), horizon
+                self._generate(traffic, horizon, max_queries), horizon, feed
             )
         return self._run_open(
-            self._cap(iter(traffic), max_queries), horizon
+            self._cap(iter(traffic), max_queries), horizon, feed
         )
 
     # -- open loop ------------------------------------------------------
@@ -296,7 +340,12 @@ class LoadHarness:
                 return
             yield q
 
-    def _run_open(self, queries: Iterable[Query], horizon: float) -> LoadReport:
+    def _run_open(
+        self,
+        queries: Iterable[Query],
+        horizon: float,
+        feed: _MutationFeed,
+    ) -> LoadReport:
         station = _Station(self.server.max_in_flight, self.queue_depth)
         clock = SimClock()
         logs: list[QueryLog] = []
@@ -304,6 +353,7 @@ class LoadHarness:
             prev_sleep = self._bind_clock(clock)
             try:
                 for q in queries:
+                    feed.advance_to(q.issued_at)
                     logs.append(self._dispatch(q, station, clock))
             finally:
                 self.server._sleep = prev_sleep
@@ -312,6 +362,7 @@ class LoadHarness:
             horizon=horizon,
             peak_in_flight=station.peak,
             clock_ticks=clock.ticks,
+            mutation_batches=feed.applied,
         )
 
     # -- closed loop ----------------------------------------------------
@@ -320,6 +371,7 @@ class LoadHarness:
         population: ClosedLoop,
         horizon: float,
         max_queries: int | None,
+        feed: _MutationFeed,
     ) -> LoadReport:
         if self.mix is None:
             raise ValueError("a closed-loop run needs a query mix")
@@ -360,6 +412,7 @@ class LoadHarness:
                         issued_at=t,
                     )
                     issued += 1
+                    feed.advance_to(t)
                     log = self._dispatch(q, station, clock)
                     logs.append(log)
                     # the user's next wake: after the response (or the
@@ -374,6 +427,7 @@ class LoadHarness:
             horizon=horizon,
             peak_in_flight=station.peak,
             clock_ticks=clock.ticks,
+            mutation_batches=feed.applied,
         )
         assert report.peak_in_flight <= population.users, (
             "closed-loop invariant violated: in-flight exceeded population"

@@ -45,6 +45,13 @@ class Query:
         caller uses (the load harness uses simulated seconds).  Purely
         descriptive: the server's budget runs from serve start, not from
         ``issued_at``.
+
+    A query never names a graph version: it is always answered against
+    the server's *current* snapshot, and the version actually used comes
+    back on ``ServeResult.graph_version`` (0 for static graphs).  On a
+    live graph the load harness orders mutation batches against
+    ``issued_at``, so which snapshot a query sees is a deterministic
+    function of the timeline, not of wall-clock races.
     """
 
     source: int

@@ -30,6 +30,14 @@ a stage) blows up.  The server composes three mechanisms:
    exponential backoff while budget remains; a bounded in-flight count
    sheds excess load with :class:`~repro.errors.ServerOverloadError`
    before any pipeline work starts.
+
+Constructed over a :class:`~repro.dyn.live.LiveGraph` the server also
+serves *live* graphs: :meth:`QueryServer.apply_mutations` applies a
+:class:`~repro.dyn.stream.MutationBatch`, swaps in the new versioned
+snapshot, and rebinds the underlying versioned
+:class:`~repro.core.batch.BatchPeeK` (region-keyed cache invalidation +
+certificate-carried prune reuse).  Every :class:`ServeResult` records the
+``graph_version`` it was answered against.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from dataclasses import dataclass, field
 
 from repro.cancel import checkpoint, deadline_in, now, remaining
 from repro.core.batch import BatchPeeK
+from repro.dyn.live import LiveGraph, Snapshot
 from repro.errors import (
     KSPTimeout,
     ServerOverloadError,
@@ -148,6 +157,9 @@ class ServeResult:
     #: equal to ``elapsed``; end-to-end latency is ``queue_time +
     #: service_time``
     service_time: float = 0.0
+    #: graph snapshot version the query was answered against (0 for
+    #: static graphs; see :meth:`QueryServer.apply_mutations`)
+    graph_version: int = 0
 
     @property
     def distances(self) -> list[float]:
@@ -182,7 +194,10 @@ class QueryServer:
     Parameters
     ----------
     graph:
-        The static graph every query runs against.
+        The graph every query runs against — either a static
+        :class:`~repro.graph.csr.CSRGraph` (historical behaviour,
+        bit-for-bit unchanged) or a :class:`~repro.dyn.live.LiveGraph`,
+        which enables :meth:`apply_mutations` and versioned serving.
     kernel, alpha, cache_size, use_workspace:
         Forwarded to the underlying :class:`~repro.core.batch.BatchPeeK`.
     default_timeout:
@@ -235,13 +250,20 @@ class QueryServer:
             raise ValueError("max_in_flight must be >= 1")
         if tier1_budget_fraction is not None and not 0.0 < tier1_budget_fraction <= 1.0:
             raise ValueError("tier1_budget_fraction must be in (0, 1]")
-        self.graph = graph
+        if isinstance(graph, LiveGraph):
+            self.live: LiveGraph | None = graph
+            self.graph = graph.graph
+        else:
+            self.live = None
+            self.graph = graph
         self.batch = BatchPeeK(
-            graph,
+            self.graph,
             kernel=kernel,
             cache_size=cache_size,
             alpha=alpha,
             use_workspace=use_workspace,
+            versioned=self.live is not None,
+            sanitize=bool(sanitize),
         )
         self.use_workspace = use_workspace
         self.default_timeout = default_timeout
@@ -253,10 +275,41 @@ class QueryServer:
         self._rng = rng
         self._lock = threading.Lock()
         self._in_flight = 0
-        #: outcome name -> count, plus "shed" and "retries"
+        #: outcome name -> count, plus "shed", "retries", and (live
+        #: graphs) "mutation_batches"
         self.counters: dict[str, int] = {o: 0 for o in OUTCOMES}
         self.counters["shed"] = 0
         self.counters["retries"] = 0
+        self.counters["mutation_batches"] = 0
+
+    # -- live-graph mutations -------------------------------------------
+    def apply_mutations(self, batch) -> Snapshot:
+        """Apply one :class:`~repro.dyn.stream.MutationBatch`; new snapshot.
+
+        Only valid for servers constructed over a
+        :class:`~repro.dyn.live.LiveGraph`.  Atomically (under the
+        server's lock, so concurrent :meth:`serve` calls see either the
+        old or the new version, never a torn state): applies the batch to
+        the live spine, swaps the current snapshot in as ``self.graph``,
+        and rebinds the versioned :class:`~repro.core.batch.BatchPeeK` —
+        which surgically invalidates only the SSSP cache entries whose
+        trees touch mutated vertices and only the memoised pruning
+        decisions the reuse certificate cannot carry forward.
+        """
+        if self.live is None:
+            raise ValueError(
+                "apply_mutations requires a server built over a LiveGraph; "
+                "this server was constructed over a static graph"
+            )
+        with self._lock:
+            snap = self.live.apply(batch)
+            self.graph = snap.graph
+            self.batch.rebind(
+                snap.graph, version=snap.version, summary=snap.summary
+            )
+            self.counters["mutation_batches"] += 1
+        get_tracer().add("serve.mutation_batches")
+        return snap
 
     # -- admission control ---------------------------------------------
     @property
@@ -340,6 +393,7 @@ class QueryServer:
             timeout = self.default_timeout
         deadline = deadline_in(timeout)
         tracer = get_tracer()
+        version = self.batch.version  # snapshot the query is answered on
         t0 = now()
         with tracer.span(
             "serve.query", source=query.source, target=query.target, k=query.k
@@ -378,6 +432,7 @@ class QueryServer:
                 query=query,
                 queue_time=queue_time,
                 service_time=elapsed,
+                graph_version=version,
             )
             self._maybe_sanitize(result, query.source, query.target)
             self.counters[att.outcome] += 1
@@ -385,6 +440,7 @@ class QueryServer:
                 span.attrs["outcome"] = att.outcome
                 span.attrs["tier"] = att.tier
                 span.attrs["attempts"] = attempts
+                span.attrs["graph_version"] = version
                 tracer.add(f"serve.outcome.{att.outcome}")
         return result
 

@@ -1,0 +1,159 @@
+"""Regression tests for the Terrace update-path bugs this PR fixes.
+
+Three bugs, each pinned by a failing-first test:
+
+1. ``insert_edges`` accepted out-of-range targets and non-finite /
+   non-positive weights, storing garbage that crashed ``neighbors()``
+   (or silently violated the paper's Definition 1) much later;
+2. updates on a tombstoned *source* silently mutated hidden adjacency,
+   drifting ``num_edges`` away from what any query could ever see;
+3. ``delete_edges`` charged ``point_deletes`` (and ``elements_moved``)
+   for *requested* deletions, not actual ones, skewing the Figure 12
+   cost comparison whenever the workload asked to delete missing edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dyn.terrace import TerraceGraph
+from repro.errors import InvalidWeightError, VertexError
+from repro.graph.build import from_edge_list
+
+
+def small_graph() -> TerraceGraph:
+    g = from_edge_list(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+    return TerraceGraph.from_csr(g)
+
+
+class TestInsertValidation:
+    """Bug 1: validation must happen before anything is stored."""
+
+    def test_out_of_range_dst_rejected(self):
+        tg = small_graph()
+        with pytest.raises(VertexError):
+            tg.insert_edges([0, 0], [2, 99], [1.0, 1.0])
+        # nothing from the batch landed — not even the valid half
+        assert tg.num_edges == 3
+        assert not tg.has_edge(0, 2)
+        tg.check_invariants()
+
+    def test_negative_dst_rejected(self):
+        tg = small_graph()
+        with pytest.raises(VertexError):
+            tg.insert_edges([0], [-1], [1.0])
+        tg.check_invariants()
+
+    def test_out_of_range_src_rejected(self):
+        tg = small_graph()
+        with pytest.raises(VertexError):
+            tg.insert_edges([4], [0], [1.0])
+        tg.check_invariants()
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_weights_rejected(self, bad):
+        tg = small_graph()
+        with pytest.raises(InvalidWeightError):
+            tg.insert_edges([0, 0], [2, 3], [1.0, bad])
+        assert tg.num_edges == 3
+        tg.check_invariants()
+
+    @pytest.mark.parametrize("bad", [0.0, float("nan"), float("-inf")])
+    def test_bad_reweights_rejected(self, bad):
+        tg = small_graph()
+        with pytest.raises(InvalidWeightError):
+            tg.reweight_edges([0], [1], [bad])
+        _, w = tg.neighbors(0)
+        assert w[0] == 1.0
+        tg.check_invariants()
+
+    def test_neighbors_never_sees_garbage(self):
+        """The original failure mode: a stored bad target blowing up later."""
+        tg = small_graph()
+        with pytest.raises(VertexError):
+            tg.insert_edges([1], [1000], [1.0])
+        t, _ = tg.neighbors(1)  # must not raise
+        assert t.tolist() == [2]
+
+
+class TestDeadSourceUpdates:
+    """Bug 2: updates through a tombstoned source must raise, not drift."""
+
+    def test_insert_on_dead_source_raises(self):
+        tg = small_graph()
+        tg.delete_vertices([1])
+        m = tg.num_edges
+        with pytest.raises(VertexError):
+            tg.insert_edges([1], [3], [1.0])
+        assert tg.num_edges == m
+        t, _ = tg.neighbors(1)
+        assert t.size == 0
+        tg.check_invariants()
+
+    def test_delete_on_dead_source_raises(self):
+        tg = small_graph()
+        tg.delete_vertices([2])
+        with pytest.raises(VertexError):
+            tg.delete_edges([2], [3])
+        tg.check_invariants()
+
+    def test_reweight_on_dead_source_raises(self):
+        tg = small_graph()
+        tg.delete_vertices([0])
+        with pytest.raises(VertexError):
+            tg.reweight_edges([0], [1], [9.0])
+        tg.check_invariants()
+
+    def test_mixed_batch_rejected_wholesale(self):
+        """One dead source poisons the whole batch (all-or-nothing)."""
+        tg = small_graph()
+        tg.delete_vertices([1])
+        with pytest.raises(VertexError):
+            tg.insert_edges([0, 1], [3, 3], [1.0, 1.0])
+        assert not tg.has_edge(0, 3)
+        tg.check_invariants()
+
+    def test_insert_toward_dead_target_stored_not_live(self):
+        tg = small_graph()
+        tg.delete_vertices([3])
+        before_stored = tg.num_edges
+        before_live = tg.num_live_edges()
+        tg.insert_edges([0], [3], [1.0])
+        # stored (upper bound moves) but invisible to every query
+        assert tg.num_edges == before_stored + 1
+        assert not tg.has_edge(0, 3)
+        assert tg.num_live_edges() == before_live
+        tg.check_invariants()
+
+
+class TestDeleteAccounting:
+    """Bug 3: cost counters must charge actual work, not requests."""
+
+    def test_missing_deletes_charge_nothing(self):
+        tg = small_graph()
+        removed = tg.delete_edges([0, 1, 3], [3, 3, 0])  # none exist
+        assert removed == 0
+        assert tg.stats.point_deletes == 0
+        assert tg.stats.elements_moved == 0
+        assert tg.num_edges == 3
+        tg.check_invariants()
+
+    def test_mixed_batch_charges_only_hits(self):
+        tg = small_graph()
+        removed = tg.delete_edges([0, 0, 1], [1, 3, 2])  # 2 of 3 exist
+        assert removed == 2
+        assert tg.stats.point_deletes == 2
+        # only the two rebuilt vertices' elements are charged
+        assert tg.stats.elements_moved == 2
+        tg.check_invariants()
+
+    def test_duplicate_delete_requests_counted_once(self):
+        tg = small_graph()
+        removed = tg.delete_edges([0, 0], [1, 1])
+        assert removed == 1
+        assert tg.stats.point_deletes == 1
+
+    def test_reweight_counters(self):
+        tg = small_graph()
+        old = tg.reweight_edges([0, 0], [1, 3], [5.0, 5.0])
+        assert old[0] == 1.0 and np.isnan(old[1])
+        assert tg.stats.point_reweights == 1  # only the edge that existed

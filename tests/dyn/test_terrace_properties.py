@@ -1,0 +1,156 @@
+"""Hypothesis property tests for the Terrace container.
+
+The model is a plain ``dict[(u, v)] -> w``: every batched mutation the
+container sees is mirrored into the model, and after each batch the
+container must agree with it on edge count, per-vertex degree, and the
+full neighbour list — and :meth:`TerraceGraph.check_invariants` must
+pass.  Level migrations are exercised in both directions, and CSR
+extraction must round-trip structurally.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dyn.terrace import TerraceGraph
+from repro.graph.build import from_edge_list
+
+
+@st.composite
+def mutation_scripts(draw, max_n=12, max_batches=6, max_batch=10):
+    """A vertex count plus a list of (kind, src, dst, w) batches."""
+    n = draw(st.integers(2, max_n))
+    batches = []
+    for _ in range(draw(st.integers(1, max_batches))):
+        kind = draw(st.sampled_from(["insert", "delete", "reweight"]))
+        size = draw(st.integers(1, max_batch))
+        seed = draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, n, size=size)
+        dst = rng.integers(0, n, size=size)
+        w = rng.random(size) * 9 + 0.5
+        batches.append((kind, src, dst, w))
+    return n, batches
+
+
+def _apply_model(model: dict, kind: str, src, dst, w) -> None:
+    if kind == "insert":
+        # dedup keeps the lighter weight — both within the batch
+        # (lexsort by (target, weight), first wins) and against stored;
+        # self-loops are dropped, matching the CSR substrate
+        for u, v, weight in zip(src.tolist(), dst.tolist(), w.tolist()):
+            if u == v:
+                continue
+            cur = model.get((u, v))
+            if cur is None or weight < cur:
+                model[(u, v)] = weight
+    elif kind == "delete":
+        for u, v in zip(src.tolist(), dst.tolist()):
+            model.pop((u, v), None)
+    else:
+        for u, v, weight in zip(src.tolist(), dst.tolist(), w.tolist()):
+            if (u, v) in model:
+                model[(u, v)] = weight
+
+
+def _assert_agrees(tg: TerraceGraph, model: dict, n: int) -> None:
+    assert tg.num_edges == len(model)
+    for v in range(n):
+        want = sorted((t, w) for (s, t), w in model.items() if s == v)
+        got_t, got_w = tg.neighbors(v)
+        assert got_t.tolist() == [t for t, _ in want]
+        assert got_w.tolist() == pytest.approx([w for _, w in want])
+        assert tg.degree(v) == len(want)
+
+
+@given(mutation_scripts())
+@settings(max_examples=60, deadline=None)
+def test_batches_match_dict_model(case):
+    n, batches = case
+    tg = TerraceGraph(n)
+    model: dict = {}
+    for kind, src, dst, w in batches:
+        if kind == "insert":
+            tg.insert_edges(src, dst, w)
+        elif kind == "delete":
+            tg.delete_edges(src, dst)
+        else:
+            tg.reweight_edges(src, dst, w)
+        _apply_model(model, kind, src, dst, w)
+        tg.check_invariants()
+        _assert_agrees(tg, model, n)
+
+
+@given(st.integers(9, 40), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_level_migrations_both_directions(deg, seed):
+    """small -> medium on insert past the cap, back to small on delete."""
+    n = deg + 1
+    tg = TerraceGraph(n)
+    targets = np.arange(1, deg + 1)
+    w = np.random.default_rng(seed).random(deg) + 0.1
+    tg.insert_edges(np.zeros(deg, dtype=np.int64), targets, w)
+    assert tg.level_name(0) == "medium"  # deg >= 9 > _SMALL_CAP
+    migrations = tg.stats.level_migrations
+    assert migrations >= 1
+    tg.check_invariants()
+    # delete down to below the small cap: must migrate back down
+    tg.delete_edges(np.zeros(deg - 4, dtype=np.int64), targets[: deg - 4])
+    assert tg.level_name(0) == "small"
+    assert tg.stats.level_migrations > migrations
+    assert tg.degree(0) == 4
+    tg.check_invariants()
+
+
+def test_large_level_round_trip():
+    """> 512 out-edges lands in the chunked large level and back."""
+    n = 600
+    tg = TerraceGraph(n)
+    targets = np.arange(1, n)
+    tg.insert_edges(
+        np.zeros(n - 1, dtype=np.int64), targets, np.ones(n - 1)
+    )
+    assert tg.level_name(0) == "large"
+    tg.check_invariants()
+    got_t, _ = tg.neighbors(0)
+    assert np.array_equal(got_t, targets)
+    tg.delete_edges(np.zeros(n - 9, dtype=np.int64), targets[: n - 9])
+    assert tg.level_name(0) == "small"
+    tg.check_invariants()
+
+
+@given(mutation_scripts(max_batches=4))
+@settings(max_examples=40, deadline=None)
+def test_csr_round_trip(case):
+    """to_csr() is exactly the live edge set, structurally."""
+    n, batches = case
+    tg = TerraceGraph(n)
+    model: dict = {}
+    for kind, src, dst, w in batches:
+        if kind == "insert":
+            tg.insert_edges(src, dst, w)
+        elif kind == "delete":
+            tg.delete_edges(src, dst)
+        else:
+            tg.reweight_edges(src, dst, w)
+        _apply_model(model, kind, src, dst, w)
+    snap = tg.to_csr()
+    ref = from_edge_list(n, [(u, v, w) for (u, v), w in model.items()])
+    assert snap.structurally_equal(ref)
+
+
+def test_csr_extraction_deterministic():
+    """Two extractions of the same state are bitwise identical."""
+    rng = np.random.default_rng(7)
+    tg = TerraceGraph(30)
+    tg.insert_edges(
+        rng.integers(0, 30, size=80),
+        rng.integers(0, 30, size=80),
+        rng.random(80) + 0.1,
+    )
+    tg.delete_vertices([5, 11])
+    a, b = tg.to_csr(), tg.to_csr()
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert a.weights.tobytes() == b.weights.tobytes()
