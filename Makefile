@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-slow lint contracts bench bench-hot bench-serving bench-dyn example-tuning
+.PHONY: test test-fast test-slow lint contracts bench bench-hot bench-serving bench-dyn bench-fabric example-tuning
 
 ## Tier-1 suite: the full gate every change must keep green.
 test:
@@ -48,6 +48,11 @@ bench-serving:
 ## results/dyn_serving.txt.
 bench-dyn:
 	$(PYTHON) benchmarks/bench_dyn_serving.py
+
+## Fabric SLO benchmark: replicated serving under seeded replica kills.
+## Writes BENCH_fabric.json and results/fabric_slo.txt.
+bench-fabric:
+	$(PYTHON) benchmarks/bench_fabric.py
 
 ## The performance-tuning walkthrough (includes the workspace act).
 example-tuning:

@@ -49,13 +49,18 @@ def main() -> None:
     payload = run_table(table, progress=print)
     wall = time.perf_counter() - t0
 
+    # regime asserts read the unified disposition summary (the same
+    # counts the fabric report uses), not the legacy per-rate fields
     rows = payload["rows"]
-    shed_cells = [r for r in rows if r["shed_rate"] > 0]
-    degraded_cells = [r for r in rows if r["degraded_rate"] > 0]
+    shed_cells = [r for r in rows if r["dispositions"]["shed"] > 0]
+    degraded_cells = [r for r in rows if r["dispositions"]["degraded"] > 0]
     assert shed_cells, "no cell demonstrated overload shedding — recalibrate"
     assert degraded_cells, (
         "no cell demonstrated deadline degradation — recalibrate"
     )
+    for r in rows:
+        d = r["dispositions"]
+        assert d["issued"] >= d["answered"], "disposition summary inconsistent"
 
     write_outputs(
         payload,

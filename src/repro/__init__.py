@@ -62,7 +62,7 @@ from repro.obs import (
 from repro.paths import Path
 from repro.serve import Query, QueryServer, ServeResult
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "solve",

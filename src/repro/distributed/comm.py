@@ -145,10 +145,25 @@ class FaultPlan:
     draws the firing visit — and ``rank=None`` the victim — from the
     plan's seeded RNG, so randomised kill campaigns are reproducible from
     the seed alone.  ``fired`` records ``(stage, rank, superstep)``.
+
+    Rules may target a serving-fabric *replica* instead of a rank (the
+    ``@R<N>`` spelling of the ``--inject`` grammar,
+    :attr:`~repro.serve.faults.FaultRule.replica`).  ``replica_ranks``
+    maps replica ids onto this communicator's ranks; the default is the
+    identity mapping, which is exactly how
+    :class:`~repro.fabric.ServingFabric` lays its replicas onto its own
+    SimComm (replica ``i`` == rank ``i``).
     """
 
-    def __init__(self, rules, *, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        rules,
+        *,
+        seed: int | None = None,
+        replica_ranks: dict[int, int] | None = None,
+    ) -> None:
         self.rules = list(rules)
+        self.replica_ranks = replica_ranks
         for r in self.rules:
             if r.kind != "rankfail":
                 raise ValueError(
@@ -178,16 +193,27 @@ class FaultPlan:
             self.hits[i] += 1
             first = self.at_hits[i]
             if first <= self.hits[i] < first + rule.times:
-                if rule.rank is not None and rule.rank >= num_ranks:
+                rank = self._victim(rule, num_ranks)
+                if rank is None:
                     continue  # rule targets a rank this job doesn't have
-                rank = (
-                    rule.rank
-                    if rule.rank is not None
-                    else self._rng.randrange(num_ranks)
-                )
                 victims.append(rank)
                 self.fired.append((stage, rank, superstep))
         return victims
+
+    def _victim(self, rule, num_ranks: int) -> int | None:
+        """Resolve a firing rule to a rank (None = out of range, skip)."""
+        if rule.rank is not None:
+            rank = rule.rank
+        elif getattr(rule, "replica", None) is not None:
+            if self.replica_ranks is not None:
+                rank = self.replica_ranks.get(rule.replica)
+                if rank is None:
+                    return None
+            else:
+                rank = rule.replica  # identity: replica i lives on rank i
+        else:
+            rank = self._rng.randrange(num_ranks)
+        return rank if rank < num_ranks else None
 
 
 class SimComm:

@@ -58,13 +58,22 @@ class Snapshot:
 class LiveGraph:
     """Mutable graph spine with monotone-versioned immutable snapshots."""
 
-    def __init__(self, graph: CSRGraph | TerraceGraph) -> None:
+    def __init__(
+        self, graph: CSRGraph | TerraceGraph, *, version: int = 0
+    ) -> None:
         if isinstance(graph, TerraceGraph):
             self._terrace = graph
         else:
             self._terrace = TerraceGraph.from_csr(graph)
-        self._version = 0
-        self._snapshot = Snapshot(version=0, graph=self._terrace.to_csr())
+        if version < 0:
+            raise ValueError("start version must be >= 0")
+        # a non-zero start version rebuilds a spine from a checkpoint: the
+        # restored replica resumes the version sequence it left off at, so
+        # replayed batches line up with the survivors' version numbers
+        self._version = int(version)
+        self._snapshot = Snapshot(
+            version=self._version, graph=self._terrace.to_csr()
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,100 @@
+"""Utilization-driven replica scaling for the serving fabric.
+
+The policy is deliberately boring — hysteresis thresholds plus a
+cooldown — because the point of this layer is determinism, not
+cleverness: the decision at every heartbeat is a pure function of the
+replica states and loads at that tick, so an MMPP burst schedule maps to
+exactly one scale-event schedule per seed.
+
+* **utilization** = total in-flight over active replicas / their total
+  worker slots (queue depth excluded: queued work is *pressure*, and
+  counting it would double-trigger);
+* utilization > ``high_water`` for one tick → wake the lowest-id
+  ``standby`` replica (state transfer takes ``scale_delay`` simulated
+  seconds before it turns ``active``);
+* utilization < ``low_water`` → drain the highest-id ``active`` replica
+  (never below ``min_replicas``); it finishes its in-flight queries and
+  parks ``standby``;
+* ``cooldown_ticks`` heartbeats must pass between decisions, so one
+  burst edge produces one decision, not a flap per tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.replica import ACTIVE, STANDBY
+
+__all__ = ["ElasticEvent", "ElasticPolicy"]
+
+
+@dataclass(frozen=True)
+class ElasticEvent:
+    """One scaling decision, for the report's audit trail."""
+
+    at: float
+    action: str  #: ``"scale_up"`` | ``"scale_down"``
+    replica: int
+    utilization: float
+
+
+class ElasticPolicy:
+    """Hysteresis + cooldown scaling over a replica set."""
+
+    def __init__(
+        self,
+        *,
+        min_replicas: int = 1,
+        high_water: float = 0.8,
+        low_water: float = 0.2,
+        cooldown_ticks: int = 2,
+        scale_delay: float = 0.02,
+    ) -> None:
+        if not 0.0 <= low_water < high_water <= 1.0:
+            raise ValueError("need 0 <= low_water < high_water <= 1")
+        if min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        self.min_replicas = min_replicas
+        self.high_water = high_water
+        self.low_water = low_water
+        self.cooldown_ticks = cooldown_ticks
+        self.scale_delay = scale_delay
+        self._since_decision = cooldown_ticks  # allow a first-tick decision
+
+    @staticmethod
+    def utilization(replicas: dict, t: float) -> float:
+        """Worker-slot utilization over active replicas at ``t``."""
+        slots = 0
+        busy = 0
+        for rid in sorted(replicas):
+            replica = replicas[rid]
+            if replica.state == ACTIVE:
+                slots += replica.workers
+                busy += min(replica.load_at(t), replica.workers)
+        return busy / slots if slots else 1.0
+
+    def decide(self, replicas: dict, t: float) -> tuple[str, int] | None:
+        """The decision for the heartbeat at ``t`` (``None`` = hold).
+
+        Returns ``("scale_up", standby_id)`` or ``("scale_down",
+        active_id)``.  The caller performs the transition; this method
+        only picks it (and restarts the cooldown when it does).
+        """
+        self._since_decision += 1
+        if self._since_decision <= self.cooldown_ticks:
+            return None
+        util = self.utilization(replicas, t)
+        active = sorted(
+            rid for rid, r in replicas.items() if r.state == ACTIVE
+        )
+        if util > self.high_water:
+            standby = sorted(
+                rid for rid, r in replicas.items() if r.state == STANDBY
+            )
+            if standby:
+                self._since_decision = 0
+                return ("scale_up", standby[0])
+        elif util < self.low_water and len(active) > self.min_replicas:
+            self._since_decision = 0
+            return ("scale_down", active[-1])
+        return None

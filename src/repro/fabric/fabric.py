@@ -1,0 +1,876 @@
+"""``ServingFabric`` — the deterministic replicated-serving event loop.
+
+One fabric run interleaves five event streams on a single simulated
+timeline, in a fixed priority order at equal instants (recoveries →
+heartbeats → mutations → query arrivals):
+
+* **queries** — open-loop arrivals (or a replayed trace) routed by
+  shard through the bounded-load consistent-hash
+  :class:`~repro.fabric.router.Router` and served *eagerly* on the
+  shared :class:`~repro.load.simclock.SimClock` (the same
+  jump-and-advance discipline as :class:`~repro.load.harness.
+  LoadHarness`, so a one-replica fabric reproduces the single-server
+  harness exactly);
+* **heartbeats** — every ``heartbeat_interval`` simulated seconds the
+  fabric's :class:`~repro.distributed.comm.SimComm` runs a barrier
+  (stage ``fabric.heartbeat``); a seeded
+  :class:`~repro.distributed.comm.FaultPlan` kill surfaces here as
+  :class:`~repro.errors.RankFailure`, exactly like the distributed
+  solvers observe node loss;
+* **kills** — the dead replica is drained: responses already delivered
+  stand, uncommitted flights are *hedged* — re-dispatched to a
+  surviving replica under the query's original deadline (wait burns
+  budget, so a hedge can still expire honestly);
+* **recoveries** — :class:`~repro.fabric.supervisor.FabricSupervisor`
+  restores the shard snapshots from the CRC-checked store, the replica
+  replays the mutation batches it missed, its rebuilt state is verified
+  byte-equal to the authority, and it rejoins the ring (time-to-recovery
+  is deterministic: restore latency + bytes + per-batch replay);
+* **mutations** — each :class:`~repro.dyn.stream.MutationBatch` is
+  applied to the authoritative :class:`~repro.dyn.live.LiveGraph` and
+  broadcast (stage ``fabric.mutate``) to every serving replica holding a
+  touched shard — under full replication that is every ``active`` /
+  ``draining`` replica; dead or recovering replicas catch up from the
+  batch log during recovery.
+
+Everything downstream of the seeds is deterministic, so a fabric
+report — availability, latency percentiles under failure, disposition
+counts, time-to-recovery per kill — is reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.distributed.comm import CommModel, FaultPlan, SimComm
+from repro.dyn.live import LiveGraph
+from repro.dyn.terrace import TerraceGraph
+from repro.errors import RankFailure, SanitizerError
+from repro.fabric.elastic import ElasticEvent, ElasticPolicy
+from repro.fabric.replica import (
+    ACTIVE,
+    DEAD,
+    DRAINING,
+    RECOVERING,
+    STANDBY,
+    Flight,
+    Replica,
+)
+from repro.fabric.ring import HashRing
+from repro.fabric.router import Router, ShardMap
+from repro.fabric.supervisor import FabricSupervisor
+from repro.load.arrivals import ArrivalProcess, ClosedLoop
+from repro.load.harness import (
+    EXPIRED,
+    MIX_STREAM_OFFSET,
+    SHED,
+    LoadReport,
+    QueryLog,
+    disposition_summary,
+)
+from repro.load.simclock import CostModel, SimClock, virtual_time
+from repro.obs.tracer import get_tracer
+from repro.serve.query import Query
+from repro.serve.server import QueryServer, RetryPolicy
+
+__all__ = [
+    "FabricConfig",
+    "KillRecord",
+    "FabricReport",
+    "ServingFabric",
+    "report_row",
+    "slo_text",
+]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Everything one fabric needs besides the graph and the traffic."""
+
+    #: replicas serving at t=0
+    replicas: int = 3
+    #: provisioned replica slots (ring membership; extras start standby)
+    max_replicas: int | None = None
+    #: elastic floor
+    min_replicas: int = 1
+    #: shard count (vertex ranges of the RowPartition)
+    shards: int = 8
+    #: per-query client budget (anchored at arrival; wait burns it)
+    timeout: float | None = 0.5
+    #: worker slots per replica
+    max_in_flight: int = 4
+    #: per-replica wait-queue depth
+    queue_depth: int = 4
+    tier1_budget_fraction: float | None = None
+    kernel: str = "delta"
+    cache_size: int = 64
+    sanitize: bool | None = None
+    #: bounded-load factor c (1 = perfectly even; Google's canonical 1.25)
+    load_factor: float = 1.25
+    #: simulated seconds between health heartbeats
+    heartbeat_interval: float = 0.02
+    #: coordinated authority checkpoints every N heartbeats
+    checkpoint_every: int = 5
+    #: maximum hedged re-dispatches per query
+    max_hedges: int = 2
+    #: recovery = latency + bytes·per_byte + missed_batches·per_batch
+    recovery_latency: float = 0.01
+    recovery_seconds_per_byte: float = 1e-9
+    replay_seconds_per_batch: float = 1e-4
+    #: SLO: a kill must be recovered within this many heartbeats
+    recovery_budget_heartbeats: int = 10
+    #: scaling policy (None = fixed fleet)
+    elastic: ElasticPolicy | None = None
+    seed: int = 0
+
+
+@dataclass
+class KillRecord:
+    """One replica kill and its recovery, for the report."""
+
+    replica: int
+    at: float
+    stage: str
+    in_flight_lost: int
+    recovered_at: float | None = None
+    ttr: float | None = None
+    missed_batches: int = 0
+    checkpoint_version: int = 0
+    within_budget: bool | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "replica": self.replica,
+            "at": round(self.at, 6),
+            "stage": self.stage,
+            "in_flight_lost": self.in_flight_lost,
+            "recovered_at": round(self.recovered_at, 6)
+            if self.recovered_at is not None
+            else None,
+            "ttr": round(self.ttr, 6) if self.ttr is not None else None,
+            "missed_batches": self.missed_batches,
+            "checkpoint_version": self.checkpoint_version,
+            "within_budget": self.within_budget,
+        }
+
+
+@dataclass
+class FabricReport:
+    """Everything one fabric run produced."""
+
+    logs: list[QueryLog]
+    horizon: float
+    kills: list[KillRecord]
+    elastic_events: list[ElasticEvent]
+    peak_in_flight: int = 0
+    clock_ticks: int = 0
+    mutation_batches: int = 0
+    heartbeats: int = 0
+    spills: int = 0
+    router_rejected: int = 0
+    #: merged per-outcome counters across every replica server mounted
+    server_counters: dict[str, int] = field(default_factory=dict)
+    #: final replica states, id-ordered
+    replica_states: dict[int, str] = field(default_factory=dict)
+    #: BSP accounting of the fabric communicator
+    dist: dict[str, float] = field(default_factory=dict)
+    #: request_id -> ((vertices, distance), ...) when ``keep_results``
+    results: dict[str, tuple] | None = None
+
+    def dispositions(self) -> dict:
+        """Unified SLO ledger (:func:`~repro.load.harness.
+        disposition_summary`) — the same code path ``bench_serving``
+        uses, so single-server and fabric availability are comparable."""
+        return disposition_summary(self.logs, self.server_counters)
+
+    def recovery_window_dispositions(self) -> dict[str, int]:
+        """Disposition counts of queries issued while a replica was down."""
+        windows = [
+            (k.at, k.recovered_at if k.recovered_at is not None else self.horizon)
+            for k in self.kills
+        ]
+        counts: dict[str, int] = {}
+        for log in self.logs:
+            if any(lo <= log.issued_at <= hi for lo, hi in windows):
+                counts[log.disposition] = counts.get(log.disposition, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def metrics(self) -> dict[str, Any]:
+        """A superset of :meth:`LoadReport.metrics
+        <repro.load.harness.LoadReport.metrics>` — run-table cells with a
+        ``replicas`` axis stay schema-compatible with single-server
+        cells — plus the fabric-only availability/recovery columns."""
+        base = LoadReport(
+            logs=self.logs,
+            horizon=self.horizon,
+            peak_in_flight=self.peak_in_flight,
+            clock_ticks=self.clock_ticks,
+            mutation_batches=self.mutation_batches,
+        ).metrics()
+        summary = self.dispositions()
+        ttrs = [k.ttr for k in self.kills if k.ttr is not None]
+        base.update(
+            {
+                "availability": summary["availability"],
+                "answered": summary["answered"],
+                "hedged": summary["hedged"],
+                "kills": len(self.kills),
+                "ttr_max": round(max(ttrs), 6) if ttrs else None,
+                "ttr_mean": round(sum(ttrs) / len(ttrs), 6) if ttrs else None,
+                "recovery_within_budget": all(
+                    k.within_budget for k in self.kills
+                )
+                if self.kills
+                else True,
+                "heartbeats": self.heartbeats,
+                "spills": self.spills,
+                "router_rejected": self.router_rejected,
+                "elastic_events": len(self.elastic_events),
+            }
+        )
+        return base
+
+
+class _FabricFeed:
+    """Lazy, time-ordered mutation feed (fabric twin of ``_MutationFeed``)."""
+
+    def __init__(self, batches, fabric: "ServingFabric") -> None:
+        self._it = iter(batches) if batches is not None else iter(())
+        self._fabric = fabric
+        self._next = next(self._it, None)
+
+    def peek(self) -> float | None:
+        return self._next.at if self._next is not None else None
+
+    def pop_apply(self) -> None:
+        batch = self._next
+        self._next = next(self._it, None)
+        self._fabric._apply_batch(batch)
+
+
+class ServingFabric:
+    """N replicas, one router, one supervisor, one timeline.
+
+    Parameters
+    ----------
+    graph:
+        The initial graph (a static CSR; the fabric owns the
+        authoritative :class:`~repro.dyn.live.LiveGraph` built over it,
+        and every replica serves an independent clone).
+    mix:
+        Query-content sampler for open-loop traffic (optional when every
+        run replays a trace).
+    config:
+        The :class:`FabricConfig`.
+    cost_model:
+        Per-checkpoint simulated costs (default :class:`CostModel`).
+    fault_plan:
+        Seeded :class:`~repro.distributed.comm.FaultPlan`; ``@R<N>``
+        rules target replicas (identity-mapped onto the fabric's ranks).
+    """
+
+    def __init__(
+        self,
+        graph,
+        mix=None,
+        *,
+        config: FabricConfig | None = None,
+        cost_model: CostModel | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        cfg = config if config is not None else FabricConfig()
+        if cfg.replicas < 1:
+            raise ValueError("need at least one replica")
+        provisioned = (
+            cfg.max_replicas if cfg.max_replicas is not None else cfg.replicas
+        )
+        if provisioned < cfg.replicas:
+            raise ValueError("max_replicas must cover the initial replicas")
+        self.config = cfg
+        self.mix = mix
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.authority = LiveGraph(graph)
+        self.shard_map = ShardMap(graph, cfg.shards)
+        self.comm = SimComm(
+            provisioned,
+            CommModel().scaled_for(graph.num_edges),
+            fault_plan=fault_plan,
+        )
+        self.supervisor = FabricSupervisor(self.comm, self.shard_map)
+        self.ring = HashRing(range(provisioned))
+        self.replicas: dict[int, Replica] = {}
+        for rid in range(provisioned):  # contracts: disable=CTR201 (bounded)
+            if rid < cfg.replicas:
+                server = self._clone_server()
+                self.replicas[rid] = Replica(
+                    rid, server, queue_depth=cfg.queue_depth, state=ACTIVE
+                )
+            else:
+                self.replicas[rid] = Replica(
+                    rid, None, queue_depth=cfg.queue_depth, state=STANDBY
+                )
+        self.router = Router(
+            self.ring, self.replicas, load_factor=cfg.load_factor
+        )
+        #: (version_after, batch) per applied batch — the recovery replay log
+        self._batch_log: list[tuple[int, Any]] = []
+        #: pending timed events: (at, seq, kind, replica_id, kill_record)
+        self._pending: list[tuple[float, int, str, int, KillRecord | None]] = []
+        self._seq = 0
+        self._known_dead: set[int] = set()
+        self._ticks_done = 0
+        self._mutations_applied = 0
+        self.kills: list[KillRecord] = []
+        self.elastic_events: list[ElasticEvent] = []
+        self._logs: dict[str, QueryLog] = {}
+        self._results: dict[str, tuple] | None = None
+        self._outstanding: list[float] = []
+        self._peak = 0
+        self._clock = SimClock()
+
+    # -- construction helpers -------------------------------------------
+    def _clone_server(self) -> QueryServer:
+        """A fresh server over an independent clone of the authority."""
+        cfg = self.config
+        snap = self.authority.snapshot()
+        terrace = TerraceGraph.from_csr(snap.graph)
+        alive = self.authority.alive
+        dead = np.flatnonzero(~alive)
+        if dead.size:
+            terrace.delete_vertices(dead)
+        live = LiveGraph(terrace, version=snap.version)
+        server = QueryServer(
+            live,
+            kernel=cfg.kernel,
+            cache_size=cfg.cache_size,
+            default_timeout=cfg.timeout,
+            max_in_flight=cfg.max_in_flight,
+            tier1_budget_fraction=cfg.tier1_budget_fraction,
+            retry=RetryPolicy(),
+            sanitize=cfg.sanitize,
+        )
+        server.batch.version = snap.version
+        return server
+
+    # -- the run --------------------------------------------------------
+    def run(
+        self,
+        traffic: ArrivalProcess | Iterable[Query],
+        *,
+        horizon: float,
+        max_queries: int | None = None,
+        mutations=None,
+        keep_results: bool = False,
+    ) -> FabricReport:
+        """Run one fabric experiment; see the module docstring.
+
+        ``traffic`` is an open-loop arrival process or a query trace —
+        closed-loop populations are rejected because a hedge shifts the
+        response instant the user's next think time would anchor on,
+        which would make the population's schedule depend on failure
+        timing (use the single-server harness for closed-loop studies).
+        """
+        if isinstance(traffic, ClosedLoop):
+            raise ValueError(
+                "the fabric serves open-loop traffic (or traces) only; "
+                "closed-loop populations couple think times to failover "
+                "timing — run those through LoadHarness"
+            )
+        self._results = {} if keep_results else None
+        feed = _FabricFeed(mutations, self)
+        if isinstance(traffic, ArrivalProcess):
+            queries: Iterable[Query] = self._generate(
+                traffic, horizon, max_queries
+            )
+        else:
+            queries = self._cap(iter(traffic), max_queries)
+        with virtual_time(self._clock, self.cost_model):
+            restore = [
+                (r, r.server._sleep) for r in self.replicas.values()
+                if r.server is not None
+            ]
+            for r, _ in restore:
+                r.server._sleep = self._clock.sleep
+            try:
+                # t=0 coordinated checkpoint: recovery always has a base
+                self.supervisor.save_shards(self.authority)
+                for q in queries:
+                    self._advance_to(q.issued_at, feed)
+                    self._dispatch(q)
+                self._advance_to(horizon, feed)
+            finally:
+                for r, sleep in restore:
+                    r.server._sleep = sleep
+        for rid in sorted(self.replicas):
+            self.replicas[rid].commit_until(float("inf"))
+        return self._report(horizon)
+
+    # -- traffic --------------------------------------------------------
+    def _generate(
+        self, process: ArrivalProcess, horizon: float, max_queries: int | None
+    ) -> Iterator[Query]:
+        if self.mix is None:
+            raise ValueError("an open-loop fabric run needs a query mix")
+        cfg = self.config
+        rng_arrivals = Random(cfg.seed)
+        rng_mix = Random(cfg.seed + MIX_STREAM_OFFSET)
+        for i, t in enumerate(process.arrivals(rng_arrivals, horizon)):
+            if max_queries is not None and i >= max_queries:
+                return
+            source, target, k = self.mix.sample(rng_mix)
+            yield Query(
+                source=source,
+                target=target,
+                k=k,
+                timeout=cfg.timeout,
+                request_id=f"q{i:06d}",
+                issued_at=t,
+            )
+
+    @staticmethod
+    def _cap(queries: Iterator[Query], max_queries: int | None) -> Iterator[Query]:
+        for i, q in enumerate(queries):
+            if max_queries is not None and i >= max_queries:
+                return
+            yield q
+
+    # -- the event loop --------------------------------------------------
+    def _advance_to(self, t: float, feed: _FabricFeed) -> None:
+        """Process every timed event at or before ``t``, in time order.
+
+        Equal-instant priority: recoveries, then heartbeats, then
+        mutations — a replica that recovers exactly when a batch lands
+        receives that batch like any other survivor.
+        """
+        hb = self.config.heartbeat_interval
+        while True:
+            next_recover = self._pending[0][0] if self._pending else None
+            next_tick = (self._ticks_done + 1) * hb
+            if next_tick > t:
+                next_tick = None
+            next_mut = feed.peek()
+            if next_mut is not None and next_mut > t:
+                next_mut = None
+            candidates = [
+                v
+                for v in (next_recover, next_tick, next_mut)
+                if v is not None and v <= t
+            ]
+            if not candidates:
+                return
+            at = min(candidates)
+            if next_recover is not None and next_recover <= at:
+                self._process_pending()
+            elif next_tick is not None and next_tick <= at:
+                self._ticks_done += 1
+                self._heartbeat(self._ticks_done * hb)
+            else:
+                feed.pop_apply()
+
+    def _process_pending(self) -> None:
+        at, _, kind, rid, kill = heapq.heappop(self._pending)
+        if kind == "recover":
+            self._finish_recovery(at, rid, kill)
+        else:  # "scaleup"
+            replica = self.replicas[rid]
+            replica.reset(self._clone_server(), at=at, state=ACTIVE)
+            replica.server._sleep = self._clock.sleep
+
+    def _schedule(self, at: float, kind: str, rid: int, kill) -> None:
+        self._seq += 1
+        heapq.heappush(self._pending, (at, self._seq, kind, rid, kill))
+
+    # -- heartbeats ------------------------------------------------------
+    def _heartbeat(self, tb: float) -> None:
+        cfg = self.config
+        try:
+            self.comm.barrier(stage="fabric.heartbeat")
+        except RankFailure:
+            pass  # kill surfaced; membership handled from comm.dead below
+        for rid in sorted(self.comm.dead - self._known_dead):
+            self._known_dead.add(rid)
+            self._process_kill(rid, tb)
+        for rid in sorted(self.replicas):
+            replica = self.replicas[rid]
+            replica.commit_until(tb)
+            if replica.state == DRAINING and not replica.inflight:
+                replica.state = STANDBY
+        if self._ticks_done % cfg.checkpoint_every == 0:
+            self.supervisor.save_shards(self.authority)
+        if cfg.elastic is not None:
+            decision = cfg.elastic.decide(self.replicas, tb)
+            if decision is not None:
+                action, rid = decision
+                util = cfg.elastic.utilization(self.replicas, tb)
+                self.elastic_events.append(
+                    ElasticEvent(
+                        at=round(tb, 9),
+                        action=action,
+                        replica=rid,
+                        utilization=round(util, 6),
+                    )
+                )
+                if action == "scale_up":
+                    self.replicas[rid].state = RECOVERING
+                    self._schedule(
+                        tb + cfg.elastic.scale_delay, "scaleup", rid, None
+                    )
+                else:
+                    self.replicas[rid].state = DRAINING
+                get_tracer().add(f"fabric.{action}")
+
+    # -- kills and hedging ----------------------------------------------
+    def _process_kill(self, rid: int, tk: float) -> None:
+        cfg = self.config
+        replica = self.replicas[rid]
+        replica.commit_until(tk)  # delivered responses survive the kill
+        lost = replica.lose_inflight()
+        was_serving = replica.state in (ACTIVE, DRAINING)
+        replica.state = DEAD
+        kill = KillRecord(
+            replica=rid,
+            at=tk,
+            stage="fabric.heartbeat",
+            in_flight_lost=len(lost),
+        )
+        self.kills.append(kill)
+        tracer = get_tracer()
+        tracer.add("fabric.kills")
+        # BSP accounting: one restore read, like the distributed layer
+        shard_bytes = self.supervisor.checkpoint_bytes()
+        model = self.comm.model
+        self.comm.charge_recovery(
+            model.latency
+            + model.per_byte * (max(shard_bytes) if shard_bytes else 0)
+        )
+        self.comm.report.failures += 1
+        if was_serving:
+            ready = (
+                tk
+                + cfg.recovery_latency
+                + sum(shard_bytes) * cfg.recovery_seconds_per_byte
+            )
+            self._schedule(ready, "recover", rid, kill)
+        else:
+            # a standby/recovering victim has nothing to restore; it is
+            # simply marked dead until an operator (or scale-up) revives it
+            kill.within_budget = True
+        for flight in lost:
+            self._hedge(flight, tk)
+
+    def _hedge(self, flight: Flight, tk: float) -> None:
+        q = flight.query
+        hedges = flight.hedges + 1
+        tracer = get_tracer()
+        tracer.add("fabric.hedges")
+        if hedges > self.config.max_hedges:
+            self._log(
+                QueryLog(
+                    request_id=q.request_id,
+                    source=q.source,
+                    target=q.target,
+                    k=q.k,
+                    issued_at=q.issued_at,
+                    disposition=SHED,
+                    queue_time=tk - q.issued_at,
+                    replica=flight.replica,
+                    hedges=hedges,
+                )
+            )
+            return
+        shard = self.shard_map.shard_of(q.source)
+        rid = self.router.place(shard, tk)
+        if rid is None:
+            self._log(
+                QueryLog(
+                    request_id=q.request_id,
+                    source=q.source,
+                    target=q.target,
+                    k=q.k,
+                    issued_at=q.issued_at,
+                    disposition=SHED,
+                    queue_time=tk - q.issued_at,
+                    replica=flight.replica,
+                    hedges=hedges,
+                )
+            )
+            return
+        self._serve_on(self.replicas[rid], q, tk, hedges)
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch(self, q: Query) -> None:
+        t = q.issued_at
+        shard = self.shard_map.shard_of(q.source)
+        rid = self.router.place(shard, t)
+        if rid is None:
+            self._log(
+                QueryLog(
+                    request_id=q.request_id,
+                    source=q.source,
+                    target=q.target,
+                    k=q.k,
+                    issued_at=t,
+                    disposition=SHED,
+                )
+            )
+            return
+        self._serve_on(self.replicas[rid], q, t, 0)
+
+    def _serve_on(
+        self, replica: Replica, q: Query, now_t: float, hedges: int
+    ) -> None:
+        start = replica.next_start(now_t)
+        queue_time = start - q.issued_at  # total wait since *issue*
+        timeout = q.timeout
+        if timeout is not None and queue_time >= timeout:
+            self._log(
+                QueryLog(
+                    request_id=q.request_id,
+                    source=q.source,
+                    target=q.target,
+                    k=q.k,
+                    issued_at=q.issued_at,
+                    disposition=EXPIRED,
+                    queue_time=queue_time,
+                    replica=replica.id,
+                    hedges=hedges,
+                )
+            )
+            return
+        budget = None if timeout is None else timeout - queue_time
+        self._clock.jump_to(start)
+        res = replica.server.serve(q.with_timeout(budget), queue_time=queue_time)
+        finish = self._clock.now()
+        flight = Flight(
+            query=q,
+            replica=replica.id,
+            issued_at=q.issued_at,
+            start=start,
+            finish=finish,
+            result=res,
+            hedges=hedges,
+        )
+        replica.occupy(flight)
+        while self._outstanding and self._outstanding[0] <= start:
+            heapq.heappop(self._outstanding)
+        heapq.heappush(self._outstanding, finish)
+        self._peak = max(self._peak, len(self._outstanding))
+        self._log(
+            QueryLog(
+                request_id=q.request_id,
+                source=q.source,
+                target=q.target,
+                k=q.k,
+                issued_at=q.issued_at,
+                disposition=res.outcome,
+                tier=res.tier,
+                queue_time=queue_time,
+                service_time=res.service_time,
+                latency=finish - q.issued_at,
+                attempts=res.attempts,
+                paths=len(res.paths),
+                replica=replica.id,
+                hedges=hedges,
+            )
+        )
+        if self._results is not None:
+            self._results[q.request_id] = tuple(
+                (p.vertices, p.distance) for p in res.paths
+            )
+
+    def _log(self, log: QueryLog) -> None:
+        self._logs[log.request_id] = log
+        if self._results is not None and log.disposition in (SHED, EXPIRED):
+            self._results.pop(log.request_id, None)
+
+    # -- mutations -------------------------------------------------------
+    def _apply_batch(self, batch) -> None:
+        touched_shards = self.shard_map.shards_touching(
+            batch.touched_vertices()
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add("fabric.mutate.batches")
+            tracer.add("fabric.mutate.touched_shards", len(touched_shards))
+        try:
+            self.comm.bcast(int(batch.size), stage="fabric.mutate")
+        except RankFailure:
+            # a kill mid-apply: process membership first, then apply the
+            # batch to the *survivors* — they all land on the same version
+            # (the failover-consistency contract tests/dyn asserts)
+            for rid in sorted(self.comm.dead - self._known_dead):
+                self._known_dead.add(rid)
+                self._process_kill(rid, batch.at)
+        snap = self.authority.apply(batch)
+        self._batch_log.append((snap.version, batch))
+        # full replication: every serving replica holds every touched
+        # shard, so the recipient set is the active + draining fleet;
+        # dead/recovering replicas replay from the batch log instead
+        for rid in sorted(self.replicas):
+            replica = self.replicas[rid]
+            if replica.state in (ACTIVE, DRAINING):
+                replica.server.apply_mutations(batch)
+        self._mutations_applied += 1
+
+    # -- recovery --------------------------------------------------------
+    def _finish_recovery(self, tr: float, rid: int, kill: KillRecord) -> None:
+        cfg = self.config
+        csr, alive, version = self.supervisor.restore_shards()
+        terrace = TerraceGraph.from_csr(csr)
+        dead_vertices = np.flatnonzero(~alive)
+        if dead_vertices.size:
+            terrace.delete_vertices(dead_vertices)
+        live = LiveGraph(terrace, version=version)
+        server = QueryServer(
+            live,
+            kernel=cfg.kernel,
+            cache_size=cfg.cache_size,
+            default_timeout=cfg.timeout,
+            max_in_flight=cfg.max_in_flight,
+            tier1_budget_fraction=cfg.tier1_budget_fraction,
+            retry=RetryPolicy(),
+            sanitize=cfg.sanitize,
+        )
+        server.batch.version = version
+        missed = 0
+        for batch_version, batch in self._batch_log:
+            if batch_version > version:
+                server.apply_mutations(batch)
+                missed += 1
+        self._verify_restored(server, rid)
+        self.comm.revive(rid)
+        self._known_dead.discard(rid)
+        ready = tr + missed * cfg.replay_seconds_per_batch
+        replica = self.replicas[rid]
+        replica.reset(server, at=ready, state=ACTIVE)
+        replica.server._sleep = self._clock.sleep
+        if kill is not None:
+            kill.recovered_at = ready
+            kill.ttr = ready - kill.at
+            kill.missed_batches = missed
+            kill.checkpoint_version = version
+            kill.within_budget = (
+                kill.ttr
+                <= cfg.recovery_budget_heartbeats * cfg.heartbeat_interval
+            )
+        get_tracer().add("fabric.recoveries")
+
+    def _verify_restored(self, server: QueryServer, rid: int) -> None:
+        """Restored-equals-authority audit (the point of the checksums)."""
+        mine = server.live.graph
+        truth = self.authority.graph
+        same = (
+            server.live.version == self.authority.version
+            and np.array_equal(mine.indptr, truth.indptr)
+            and np.array_equal(mine.indices, truth.indices)
+            and np.array_equal(mine.weights, truth.weights)
+            and np.array_equal(server.live.alive, self.authority.alive)
+        )
+        if not same:
+            raise SanitizerError(
+                f"replica {rid} restored state diverges from the authority "
+                f"(version {server.live.version} vs {self.authority.version})"
+            )
+
+    # -- reporting -------------------------------------------------------
+    def _report(self, horizon: float) -> FabricReport:
+        logs = [
+            self._logs[rid]
+            for rid in sorted(
+                self._logs, key=lambda r: (self._logs[r].issued_at, r)
+            )
+        ]
+        counters: dict[str, int] = {}
+        for rid in sorted(self.replicas):
+            server = self.replicas[rid].server
+            if server is None:
+                continue
+            for key, value in server.counters.items():
+                counters[key] = counters.get(key, 0) + value
+        rep = self.comm.report
+        return FabricReport(
+            logs=logs,
+            horizon=horizon,
+            kills=self.kills,
+            elastic_events=self.elastic_events,
+            peak_in_flight=self._peak,
+            clock_ticks=self._clock.ticks,
+            mutation_batches=self._mutations_applied,
+            heartbeats=self._ticks_done,
+            spills=self.router.spills,
+            router_rejected=self.router.rejected,
+            server_counters=dict(sorted(counters.items())),
+            replica_states={
+                rid: self.replicas[rid].state for rid in sorted(self.replicas)
+            },
+            dist={
+                "failures": rep.failures,
+                "supersteps": rep.supersteps,
+                "checkpoint_units": round(rep.checkpoint_units, 6),
+                "recovery_units": round(rep.recovery_units, 6),
+                "checkpoint_bytes": rep.checkpoint_bytes,
+            },
+            results=self._results,
+        )
+
+
+def report_row(scenario: str, report: FabricReport) -> dict[str, Any]:
+    """One JSON-ready row per fabric run — the shared shape of
+    ``peek-fabric`` payloads and ``BENCH_fabric.json``."""
+    return {
+        "scenario": scenario,
+        **report.metrics(),
+        "dispositions": report.dispositions(),
+        "recovery_window": report.recovery_window_dispositions(),
+        "kill_records": [k.as_dict() for k in report.kills],
+        "replica_states": {
+            str(rid): state for rid, state in report.replica_states.items()
+        },
+        "dist": report.dist,
+    }
+
+
+def slo_text(rows: list[dict[str, Any]], *, title: str = "fabric SLO") -> str:
+    """Human-readable SLO table over scenario rows (``metrics()`` dicts
+    extended with ``scenario`` and ``kill_records`` keys) — shared by
+    ``peek-fabric`` and ``benchmarks/bench_fabric.py``."""
+
+    def ms(value) -> str:
+        return f"{value * 1e3:8.2f}" if value is not None else f"{'-':>8}"
+
+    lines = [
+        title,
+        "",
+        f"{'scenario':>20} {'queries':>7} {'avail':>7} {'p50 ms':>8} "
+        f"{'p99 ms':>8} {'p999 ms':>8} {'shed%':>6} {'degr%':>6} "
+        f"{'kills':>5} {'ttr ms':>8} {'hedged':>6}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.get('scenario', '-'):>20} {row['queries']:>7} "
+            f"{row['availability']:>7.4f} {ms(row['latency_p50'])} "
+            f"{ms(row['latency_p99'])} {ms(row['latency_p999'])} "
+            f"{row['shed_rate']:>6.1%} {row['degraded_rate']:>6.1%} "
+            f"{row['kills']:>5} {ms(row['ttr_max'])} {row['hedged']:>6}"
+        )
+    lines.append("")
+    for row in rows:
+        for kill in row.get("kill_records", ()):
+            budget = "ok" if kill["within_budget"] else "OVER BUDGET"
+            lines.append(
+                f"  kill: scenario={row.get('scenario', '-')} "
+                f"replica={kill['replica']} at={kill['at']:.3f}s "
+                f"lost={kill['in_flight_lost']} "
+                f"ttr={kill['ttr'] * 1e3:.2f}ms "
+                f"missed_batches={kill['missed_batches']} [{budget}]"
+                if kill["ttr"] is not None
+                else f"  kill: scenario={row.get('scenario', '-')} "
+                f"replica={kill['replica']} at={kill['at']:.3f}s "
+                f"(not recovered)"
+            )
+    return "\n".join(lines)

@@ -56,6 +56,7 @@ __all__ = [
     "LoadReport",
     "LoadHarness",
     "percentile",
+    "disposition_summary",
 ]
 
 #: harness-level dispositions, beyond the server's four outcomes
@@ -103,10 +104,64 @@ class QueryLog:
     latency: float = 0.0
     attempts: int = 0
     paths: int = 0
+    #: serving-fabric replica that answered (-1 = single-server harness)
+    replica: int = -1
+    #: hedged re-dispatches after a replica died mid-flight
+    hedges: int = 0
 
     @property
     def served(self) -> bool:
         return self.disposition in OUTCOMES
+
+
+def disposition_summary(
+    logs: Iterable[QueryLog], server_counters: dict | None = None
+) -> dict:
+    """The unified SLO ledger: every request accounted for, in one place.
+
+    Counts every :data:`DISPOSITIONS` member over ``logs`` (zero-filled,
+    so the schema is stable across runs), plus:
+
+    ``issued``
+        total requests;
+    ``answered``
+        requests that got *some* response — ``complete`` + ``degraded``
+        + ``partial`` (``failed`` responses carry no paths, so they do
+        not count as answered);
+    ``availability``
+        ``answered / issued`` (1.0 on an empty run — an idle service is
+        up);
+    ``hedged``
+        requests that needed at least one hedged re-dispatch.
+
+    ``server_counters`` merges a server's own counter dict (e.g.
+    :attr:`QueryServer.counters <repro.serve.server.QueryServer.counters>`):
+    queries shed *inside* the server by admission control raise
+    ``ServerOverloadError`` and bump its ``"shed"`` counter without ever
+    producing a harness log entry, so they would otherwise vanish from
+    the SLO accounting.  Both :mod:`benchmarks.bench_serving` and the
+    fabric report consume this summary, so single-server and fabric SLOs
+    are computed by literally the same code.
+    """
+    counts = {d: 0 for d in DISPOSITIONS}
+    issued = 0
+    hedged = 0
+    for log in logs:
+        issued += 1
+        counts[log.disposition] += 1
+        if log.hedges:
+            hedged += 1
+    if server_counters:
+        extra_shed = int(server_counters.get("shed", 0))
+        counts[SHED] += extra_shed
+        issued += extra_shed
+    answered = counts["complete"] + counts["degraded"] + counts["partial"]
+    out = dict(counts)
+    out["issued"] = issued
+    out["answered"] = answered
+    out["availability"] = round(answered / issued, 6) if issued else 1.0
+    out["hedged"] = hedged
+    return out
 
 
 @dataclass
@@ -124,6 +179,10 @@ class LoadReport:
 
     def count(self, disposition: str) -> int:
         return sum(1 for log in self.logs if log.disposition == disposition)
+
+    def dispositions(self, server_counters: dict | None = None) -> dict:
+        """Unified disposition ledger — see :func:`disposition_summary`."""
+        return disposition_summary(self.logs, server_counters)
 
     def metrics(self) -> dict:
         """The aggregate table one run-table cell reports.

@@ -34,8 +34,36 @@ __all__ = [
     "QueryMix",
     "UniformMix",
     "HotspotMix",
+    "largest_scc",
     "make_mix",
 ]
+
+
+def largest_scc(graph) -> np.ndarray:
+    """Vertex ids of the graph's largest strongly connected component.
+
+    Every (source, target) pair inside it is mutually reachable, so a
+    mix restricted to it (``{"scc": true}`` in the spec) never produces
+    a query whose only honest answer is ``failed``-unreachable — the
+    sampling convention of the paper's KSP experiments, and what an
+    availability SLO needs (a fabric can't be penalised for paths that
+    do not exist).
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    n = graph.num_vertices
+    mat = csr_matrix(
+        (
+            np.ones(graph.indices.size, dtype=np.int8),
+            graph.indices,
+            graph.indptr,
+        ),
+        shape=(n, n),
+    )
+    _, labels = connected_components(mat, directed=True, connection="strong")
+    counts = np.bincount(labels)
+    return np.flatnonzero(labels == int(counts.argmax()))
 
 
 @dataclass(frozen=True)
@@ -74,10 +102,15 @@ class QueryMix:
 
 
 class UniformMix(QueryMix):
-    """Endpoints uniform over the vertex set."""
+    """Endpoints uniform over the vertex set (or a ``vertices`` subset)."""
 
-    def __init__(self, graph, k: KSampler | None = None) -> None:
-        self.n = graph.num_vertices
+    def __init__(self, graph, k: KSampler | None = None, vertices=None) -> None:
+        self._ids = (
+            [int(v) for v in vertices]
+            if vertices is not None
+            else list(range(graph.num_vertices))
+        )
+        self.n = len(self._ids)
         if self.n < 2:
             raise ValueError("graph too small for source != target queries")
         self.k_sampler = k if k is not None else KSampler()
@@ -87,7 +120,7 @@ class UniformMix(QueryMix):
         target = rng.randrange(self.n - 1)
         if target >= source:  # uniform over the n-1 non-source vertices
             target += 1
-        return source, target, self.k_sampler.sample(rng)
+        return self._ids[source], self._ids[target], self.k_sampler.sample(rng)
 
 
 class HotspotMix(QueryMix):
@@ -99,13 +132,24 @@ class HotspotMix(QueryMix):
     shape.  Sampling is one binary search over the cumulative weights.
     """
 
-    def __init__(self, graph, k: KSampler | None = None, exponent: float = 1.0) -> None:
-        self.n = graph.num_vertices
+    def __init__(
+        self,
+        graph,
+        k: KSampler | None = None,
+        exponent: float = 1.0,
+        vertices=None,
+    ) -> None:
+        self._ids = (
+            [int(v) for v in vertices]
+            if vertices is not None
+            else list(range(graph.num_vertices))
+        )
+        self.n = len(self._ids)
         if self.n < 2:
             raise ValueError("graph too small for source != target queries")
         self.k_sampler = k if k is not None else KSampler()
-        in_degree = np.bincount(graph.indices, minlength=self.n)
-        weights = (in_degree.astype(np.float64) + 1.0) ** float(exponent)
+        in_degree = np.bincount(graph.indices, minlength=graph.num_vertices)
+        weights = (in_degree.astype(np.float64)[self._ids] + 1.0) ** float(exponent)
         # cumulative weights as plain floats: bisect-friendly and
         # platform-stable (no BLAS in sight)
         self._cum = list(accumulate(weights.tolist()))
@@ -118,7 +162,11 @@ class HotspotMix(QueryMix):
             if target >= self.n:  # guard the r == total edge draw
                 target = self.n - 1
             if target != source:
-                return source, target, self.k_sampler.sample(rng)
+                return (
+                    self._ids[source],
+                    self._ids[target],
+                    self.k_sampler.sample(rng),
+                )
 
 
 def make_mix(graph, spec: dict) -> QueryMix:
@@ -126,11 +174,16 @@ def make_mix(graph, spec: dict) -> QueryMix:
 
     ``{"kind": "hotspot", "exponent": 1.5, "k": {"dist": "small_heavy",
     "k_max": 8}}`` — the ``k`` sub-dict maps to :class:`KSampler`.
+    ``"scc": true`` restricts both endpoints to the largest strongly
+    connected component (see :func:`largest_scc`), guaranteeing every
+    sampled pair is reachable.
     """
     spec = dict(spec)
     kind = spec.pop("kind", "uniform")
     k_spec = spec.pop("k", None)
     k_sampler = KSampler(**k_spec) if k_spec is not None else KSampler()
+    if spec.pop("scc", False):
+        spec["vertices"] = largest_scc(graph)
     if kind == "uniform":
         return UniformMix(graph, k=k_sampler, **spec)
     if kind == "hotspot":

@@ -44,7 +44,7 @@ __all__ = [
     "medium_table",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2  # v2: rows carry "replicas" + unified "dispositions"
 
 #: decorrelates the server-jitter RNG from the harness streams
 JITTER_STREAM_OFFSET = 0xB7E15162
@@ -68,6 +68,9 @@ class ServerConfig:
     kernel: str = "delta"
     cache_size: int = 64
     jitter: float = 0.0
+    #: >1 routes the cell through :class:`~repro.fabric.fabric.ServingFabric`
+    #: (replicated serving; open-loop traffic only, jitter not plumbed)
+    replicas: int = 1
 
     def build(self, graph, *, seed: int) -> QueryServer:
         return QueryServer(
@@ -145,31 +148,61 @@ def run_table(
         graph = suite_graph(graph_name, table.scale)
         mix = make_mix(graph, table.mix)
         pattern = arrival_process(dict(spec))
-        server = config.build(graph, seed=seed)
-        harness = LoadHarness(
-            server,
-            mix,
-            timeout=config.timeout,
-            queue_depth=config.queue_depth,
-            cost_model=cost_model,
-            seed=seed,
-        )
         tracer = Tracer()
-        with use_tracer(tracer):
-            report = harness.run(
-                pattern, horizon=table.horizon, max_queries=table.max_queries
+        if config.replicas > 1:
+            # replicated cell: the fabric owns its servers and clock
+            from repro.fabric.fabric import FabricConfig, ServingFabric
+
+            fabric = ServingFabric(
+                graph,
+                mix,
+                config=FabricConfig(
+                    replicas=config.replicas,
+                    timeout=config.timeout,
+                    max_in_flight=config.max_in_flight,
+                    queue_depth=config.queue_depth,
+                    tier1_budget_fraction=config.tier1_budget_fraction,
+                    kernel=config.kernel,
+                    cache_size=config.cache_size,
+                    seed=seed,
+                ),
+                cost_model=cost_model,
             )
+            with use_tracer(tracer):
+                report = fabric.run(
+                    pattern, horizon=table.horizon, max_queries=table.max_queries
+                )
+            server_counters = report.server_counters
+            dispositions = report.dispositions()
+        else:
+            server = config.build(graph, seed=seed)
+            harness = LoadHarness(
+                server,
+                mix,
+                timeout=config.timeout,
+                queue_depth=config.queue_depth,
+                cost_model=cost_model,
+                seed=seed,
+            )
+            with use_tracer(tracer):
+                report = harness.run(
+                    pattern, horizon=table.horizon, max_queries=table.max_queries
+                )
+            server_counters = dict(server.counters)
+            dispositions = report.dispositions(server.counters)
         row: dict[str, Any] = {
             "traffic": label,
             "graph": graph_name,
             "config": config.name,
             "rep": rep,
             "seed": seed,
+            "replicas": config.replicas,
             "offered_qps": round(pattern.mean_rate(), 6),
             **report.metrics(),
         }
+        row["dispositions"] = dispositions
         row["counters"] = {
-            "server": dict(sorted(server.counters.items())),
+            "server": dict(sorted(server_counters.items())),
             "trace": tracer.counter_totals(),
         }
         rows.append(row)

@@ -92,6 +92,13 @@ class FaultRule:
         :class:`~repro.distributed.comm.FaultPlan`); ``None`` means
         unscoped — a ``rankfail`` rule then draws its victim from the
         plan's seeded RNG.
+    replica:
+        Scope the rule to one serving-fabric *replica* (the ``@R<N>``
+        spelling of the ``--inject`` grammar).  Replicas and ranks are
+        different namespaces — a replica is a unit of serving failure, a
+        rank a unit of BSP computation — even though the fabric maps
+        replica ``i`` onto rank ``i`` of its own communicator (see
+        ``docs/fabric.md``).  Mutually exclusive with ``rank``.
     """
 
     stage: str
@@ -100,6 +107,7 @@ class FaultRule:
     times: int = 1
     max_hit: int = 4
     rank: int | None = None
+    replica: int | None = None
 
     def matches(self, stage: str) -> bool:
         return stage == self.stage or stage.startswith(self.stage + ".")
@@ -166,23 +174,38 @@ FAULT_KINDS = ("timeout", "unreachable", "transient", "fatal", "rankfail")
 
 
 def parse_fault_spec(spec: str) -> FaultRule:
-    """Parse the CLI rule grammar ``STAGE:KIND[:AT_HIT][@RANK]``.
+    """Parse the CLI rule grammar ``STAGE:KIND[:AT_HIT][@RANK | @R<N>]``.
 
     The ``@RANK`` suffix scopes the rule to one simulated MPI rank (see
-    :class:`FaultRule.rank`); omitting ``AT_HIT`` leaves the firing visit
-    to the seeded draw.  Shared by ``peek-serve --inject`` and
+    :class:`FaultRule.rank`); the ``@R<N>`` spelling scopes it to serving
+    replica ``N`` instead (``fabric.heartbeat:rankfail:3@R1`` kills
+    replica 1 at its third heartbeat — see :class:`FaultRule.replica`
+    and ``peek-fabric --inject``).  Omitting ``AT_HIT`` leaves the firing
+    visit to the seeded draw.  Shared by ``peek-serve --inject``,
+    ``peek-fabric --inject`` and
     :meth:`~repro.distributed.comm.FaultPlan.from_specs`.  Raises
     ``ValueError`` on malformed specs.
     """
     body, sep, rank_part = spec.partition("@")
     rank: int | None = None
+    replica: int | None = None
     if sep:
+        target_part = rank_part
+        is_replica = rank_part[:1] in ("R", "r")
+        if is_replica:
+            target_part = rank_part[1:]
         try:
-            rank = int(rank_part)
+            target = int(target_part)
         except ValueError:
-            raise ValueError(f"bad rank in fault spec {spec!r}") from None
-        if rank < 0:
-            raise ValueError(f"negative rank in fault spec {spec!r}")
+            raise ValueError(
+                f"bad target in fault spec {spec!r} (want @RANK or @R<N>)"
+            ) from None
+        if target < 0:
+            raise ValueError(f"negative target in fault spec {spec!r}")
+        if is_replica:
+            replica = target
+        else:
+            rank = target
     parts = body.split(":")
     if len(parts) not in (2, 3) or not parts[0]:
         raise ValueError(
@@ -198,4 +221,6 @@ def parse_fault_spec(spec: str) -> FaultRule:
             at_hit = int(parts[2])
         except ValueError:
             raise ValueError(f"bad AT_HIT in fault spec {spec!r}") from None
-    return FaultRule(stage=parts[0], kind=parts[1], at_hit=at_hit, rank=rank)
+    return FaultRule(
+        stage=parts[0], kind=parts[1], at_hit=at_hit, rank=rank, replica=replica
+    )

@@ -1,0 +1,221 @@
+"""The serving fabric end-to-end: kills, recovery, failover, elastic."""
+
+import json
+
+import pytest
+
+from repro.distributed.comm import FaultPlan
+from repro.dyn.stream import IncidentStream
+from repro.fabric.elastic import ElasticPolicy
+from repro.fabric.fabric import FabricConfig, ServingFabric, report_row
+from repro.fabric.replica import ACTIVE, STANDBY
+from repro.graph.suite import suite_graph
+from repro.load.arrivals import arrival_process
+from repro.load.mixes import make_mix
+
+KILL = "fabric.heartbeat:rankfail:3@R1"
+MIX = {"kind": "hotspot", "scc": True, "k": {"dist": "small_heavy", "k_max": 4}}
+STEADY = {"kind": "poisson", "rate": 400.0}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return suite_graph("LJ", "tiny")
+
+
+def build(graph, *, inject=None, seed=0, **over):
+    config = FabricConfig(replicas=3, seed=seed, **over)
+    plan = FaultPlan.from_specs(inject, seed=seed) if inject else None
+    return ServingFabric(
+        graph, make_mix(graph, dict(MIX)), config=config, fault_plan=plan
+    )
+
+
+def run(fabric, *, horizon=0.5, max_queries=150, **kwargs):
+    return fabric.run(
+        arrival_process(dict(STEADY)),
+        horizon=horizon,
+        max_queries=max_queries,
+        **kwargs,
+    )
+
+
+class TestKillRecovery:
+    def test_kill_drain_recover(self, graph):
+        fabric = build(graph, inject=[KILL])
+        report = run(fabric)
+        assert len(report.kills) == 1
+        kill = report.kills[0]
+        assert kill.replica == 1
+        assert kill.recovered_at is not None and kill.recovered_at > kill.at
+        assert kill.ttr == pytest.approx(kill.recovered_at - kill.at)
+        assert kill.within_budget
+        # the replica rejoined and the fleet ended fully active
+        assert report.replica_states == {0: ACTIVE, 1: ACTIVE, 2: ACTIVE}
+        assert report.dist["failures"] == 1
+
+    def test_restored_replica_matches_authority(self, graph):
+        fabric = build(graph, inject=[KILL])
+        run(fabric)
+        authority = fabric.authority
+        restored = fabric.replicas[1].server
+        assert restored.batch.version == authority.version
+
+    def test_no_kill_no_failures(self, graph):
+        report = run(build(graph))
+        assert report.kills == []
+        assert report.dist["failures"] == 0
+        assert report.dispositions()["availability"] == 1.0
+
+    def test_recovery_window_queries_are_answered(self, graph):
+        fabric = build(graph, inject=[KILL])
+        report = run(fabric)
+        window = report.recovery_window_dispositions()
+        served = {
+            k for k, v in window.items() if v and k not in ("shed", "expired")
+        }
+        assert served <= {"complete", "degraded"}
+
+
+class TestDeterminism:
+    def test_double_run_byte_identical(self, graph):
+        rows = [
+            json.dumps(report_row("kill", run(build(graph, inject=[KILL]))))
+            for _ in range(2)
+        ]
+        assert rows[0] == rows[1]
+
+    def test_seed_changes_the_run(self, graph):
+        a = run(build(graph, seed=0))
+        b = run(build(graph, seed=1))
+        assert [log.issued_at for log in a.logs] != [
+            log.issued_at for log in b.logs
+        ]  # different arrival streams
+
+
+class TestFailoverEquivalence:
+    def test_hedged_results_bitwise_match_unfailed_run(self, graph):
+        """A query hedged off a killed replica returns exactly the result
+        the unfailed fabric would have returned."""
+        clean = run(build(graph), keep_results=True)
+        failed = run(build(graph, inject=[KILL]), keep_results=True)
+        hedged = [log for log in failed.logs if log.hedges > 0]
+        assert hedged, "the seeded kill should strand at least one flight"
+        for log in hedged:
+            assert log.disposition == "complete"
+            assert failed.results[log.request_id] == clean.results[log.request_id]
+
+    def test_all_completed_results_match(self, graph):
+        clean = run(build(graph), keep_results=True)
+        failed = run(build(graph, inject=[KILL]), keep_results=True)
+        done = {
+            log.request_id for log in clean.logs if log.disposition == "complete"
+        } & {
+            log.request_id for log in failed.logs if log.disposition == "complete"
+        }
+        assert done
+        for rid in done:
+            assert clean.results[rid] == failed.results[rid]
+
+
+class TestMutationConsistency:
+    def test_kill_during_mutations_keeps_survivors_in_step(self, graph):
+        """A replica killed while batches stream leaves every surviving
+        (and recovered) replica at the authority's graph version."""
+        fabric = build(graph, inject=["fabric.mutate:rankfail:2@R1"])
+        batches = IncidentStream(seed=0, rate=60.0).batches(fabric.authority, 0.5)
+        report = run(fabric, mutations=batches)
+        assert report.mutation_batches > 0
+        assert len(report.kills) == 1
+        version = fabric.authority.version
+        assert version > 0
+        for rid in sorted(fabric.replicas):
+            replica = fabric.replicas[rid]
+            if replica.server is not None and replica.state == ACTIVE:
+                assert replica.server.batch.version == version, rid
+
+    def test_replay_counts_missed_batches(self, graph):
+        fabric = build(graph, inject=["fabric.mutate:rankfail:1@R1"])
+        batches = IncidentStream(seed=0, rate=120.0).batches(fabric.authority, 0.5)
+        report = run(fabric, mutations=batches)
+        kill = report.kills[0]
+        assert kill.recovered_at is not None
+        assert kill.missed_batches >= 0
+        assert report.mutation_batches > kill.missed_batches
+
+
+class _FakeReplica:
+    def __init__(self, state, workers, load):
+        self.state = state
+        self.workers = workers
+        self._load = load
+
+    def load_at(self, t):
+        return self._load
+
+
+class TestElasticPolicy:
+    def test_scale_up_picks_lowest_standby(self):
+        policy = ElasticPolicy(cooldown_ticks=0)
+        replicas = {
+            0: _FakeReplica(ACTIVE, 4, 4),
+            1: _FakeReplica(ACTIVE, 4, 4),
+            3: _FakeReplica(STANDBY, 0, 0),
+            2: _FakeReplica(STANDBY, 0, 0),
+        }
+        assert policy.decide(replicas, 0.0) == ("scale_up", 2)
+
+    def test_scale_down_respects_floor(self):
+        policy = ElasticPolicy(min_replicas=2, cooldown_ticks=0)
+        replicas = {
+            0: _FakeReplica(ACTIVE, 4, 0),
+            1: _FakeReplica(ACTIVE, 4, 0),
+        }
+        assert policy.decide(replicas, 0.0) is None  # at the floor
+        replicas[2] = _FakeReplica(ACTIVE, 4, 0)
+        assert policy.decide(replicas, 0.0) == ("scale_down", 2)
+
+    def test_cooldown_suppresses_flapping(self):
+        policy = ElasticPolicy(min_replicas=1, cooldown_ticks=2)
+        replicas = {
+            0: _FakeReplica(ACTIVE, 4, 0),
+            1: _FakeReplica(ACTIVE, 4, 0),
+        }
+        assert policy.decide(replicas, 0.0) == ("scale_down", 1)
+        assert policy.decide(replicas, 0.1) is None  # cooling down
+        assert policy.decide(replicas, 0.2) is None
+        assert policy.decide(replicas, 0.3) == ("scale_down", 1)
+
+    def test_fabric_scales_under_burst(self, graph):
+        fabric = build(
+            graph,
+            max_replicas=5,
+            min_replicas=2,
+            elastic=ElasticPolicy(min_replicas=2),
+        )
+        report = fabric.run(
+            arrival_process(
+                {
+                    "kind": "mmpp",
+                    "rate_low": 200.0,
+                    "rate_high": 800.0,
+                    "dwell_low": 0.15,
+                    "dwell_high": 0.05,
+                }
+            ),
+            horizon=1.0,
+            max_queries=600,
+        )
+        actions = [e.action for e in report.elastic_events]
+        assert "scale_up" in actions
+        assert "scale_down" in actions
+
+
+class TestGuards:
+    def test_closed_loop_rejected(self, graph):
+        fabric = build(graph)
+        with pytest.raises(ValueError, match="open-loop"):
+            fabric.run(
+                arrival_process({"kind": "closed", "users": 4, "think_mean": 0.01}),
+                horizon=0.1,
+            )

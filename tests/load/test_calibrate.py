@@ -1,0 +1,99 @@
+"""``CostModel.calibrate``: fitting the clock to measured bench data."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.load.simclock import DEFAULT_COSTS, CostModel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+HOT_PATH = REPO_ROOT / "BENCH_hot_path.json"
+
+
+def synthetic_payload(a=2e-6, b=0.01):
+    """Rows lying exactly on ``wall = a*edges + b`` for one family."""
+    rows = []
+    for algo, edges in (("Yen", 1_000_000), ("OptYen", 250_000), ("Yen", 600_000)):
+        rows.append(
+            {
+                "algo": algo,
+                "graph": "LJ",
+                "variant": "workspace",
+                "n": 30000,
+                "m": 348051,
+                "edges_relaxed": edges,
+                "wall_seconds": a * edges + b,
+            }
+        )
+    # distractors the filter must drop: other graph, other algo, no edges
+    rows.append({"algo": "Yen", "graph": "WL", "variant": "workspace",
+                 "edges_relaxed": 999, "wall_seconds": 99.0})
+    rows.append({"algo": "PeeK", "graph": "LJ", "variant": "workspace",
+                 "edges_relaxed": 820, "wall_seconds": 0.2})
+    rows.append({"algo": "Yen", "graph": "LJ", "variant": "workspace",
+                 "edges_relaxed": 0, "wall_seconds": 0.0})
+    return {"rows": rows}
+
+
+class TestCalibrate:
+    def test_round_trip_on_exact_data(self):
+        a, b = 2e-6, 0.01
+        model = CostModel.calibrate(synthetic_payload(a, b), graph="LJ")
+        assert model.per_edge_seconds == pytest.approx(a, rel=1e-9)
+        assert model.per_query_seconds == pytest.approx(b, rel=1e-9)
+        for edges in (250_000, 600_000, 1_000_000):
+            assert model.predict_seconds(edges) == pytest.approx(
+                a * edges + b, rel=1e-9
+            )
+
+    def test_stage_ratios_preserved(self):
+        model = CostModel.calibrate(synthetic_payload(), graph="LJ")
+        base = CostModel()
+        # rescaling keeps the relative stage weights of the default table
+        ratio = model.cost("sssp") / base.cost("sssp")
+        assert ratio > 0
+        for stage in DEFAULT_COSTS:
+            assert model.cost(stage) == pytest.approx(
+                base.cost(stage) * ratio, rel=1e-9
+            )
+        assert model.default == pytest.approx(base.default * ratio, rel=1e-9)
+
+    def test_uncalibrated_predict_rejected(self):
+        with pytest.raises(ValueError, match="calibrat"):
+            CostModel().predict_seconds(1000)
+
+    def test_too_few_rows_rejected(self):
+        payload = {"rows": synthetic_payload()["rows"][:1]}
+        with pytest.raises(ValueError, match=">= 2"):
+            CostModel.calibrate(payload, graph="LJ")
+
+    def test_degenerate_edges_rejected(self):
+        rows = [
+            {"algo": "Yen", "graph": "LJ", "variant": "workspace",
+             "edges_relaxed": 1000, "wall_seconds": w}
+            for w in (1.0, 2.0)
+        ]
+        with pytest.raises(ValueError, match="distinct"):
+            CostModel.calibrate({"rows": rows}, graph="LJ")
+
+    @pytest.mark.parametrize("graph", ["LJ", "WL"])
+    def test_fits_the_committed_bench_per_family(self, graph):
+        """Fit → predict within tolerance on the fitting rows of the
+        repo's own ``BENCH_hot_path.json``.  The tolerance is loose
+        (20%) because the non-negative intercept clamp biases the fit
+        when the unclamped intercept would be negative — exactness is
+        pinned by the synthetic round-trip test above."""
+        payload = json.loads(HOT_PATH.read_text())
+        model = CostModel.calibrate(payload, graph=graph, variant="workspace")
+        assert model.per_edge_seconds > 0
+        rows = [
+            r for r in payload["rows"]
+            if r["graph"] == graph
+            and r["algo"] in ("Yen", "OptYen")
+            and r.get("variant") == "workspace"
+        ]
+        assert len(rows) >= 2
+        for r in rows:
+            predicted = model.predict_seconds(r["edges_relaxed"])
+            assert predicted == pytest.approx(r["wall_seconds"], rel=0.2)

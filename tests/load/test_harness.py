@@ -15,6 +15,8 @@ from repro.load.harness import (
     EXPIRED,
     SHED,
     LoadHarness,
+    QueryLog,
+    disposition_summary,
     percentile,
 )
 from repro.load.mixes import KSampler, UniformMix
@@ -220,3 +222,49 @@ class TestMetrics:
         total = sum(m[f"{d}_rate"] for d in DISPOSITIONS)
         assert total == pytest.approx(1.0, abs=1e-6)
         assert m["queries"] == len(report.logs)
+
+
+class TestDispositionSummary:
+    @staticmethod
+    def log(rid, disposition, *, hedges=0):
+        return QueryLog(
+            request_id=rid, source=0, target=1, k=2, issued_at=0.0,
+            disposition=disposition, hedges=hedges,
+        )
+
+    def test_counts_and_availability(self):
+        logs = [
+            self.log("a", "complete"),
+            self.log("b", "degraded", hedges=1),
+            self.log("c", "partial"),
+            self.log("d", "failed"),
+            self.log("e", SHED),
+            self.log("f", EXPIRED),
+        ]
+        s = disposition_summary(logs)
+        assert s["issued"] == 6
+        assert s["answered"] == 3  # complete + degraded + partial
+        assert s["availability"] == pytest.approx(0.5)
+        assert s["hedged"] == 1
+        assert {d for d in DISPOSITIONS} <= set(s)
+
+    def test_server_shed_counter_merged(self):
+        """Admission-control sheds never reach the harness log; the
+        server counter folds them into the same ledger."""
+        logs = [self.log("a", "complete")]
+        s = disposition_summary(logs, {"shed": 3, "complete": 1})
+        assert s["issued"] == 4
+        assert s[SHED] == 3
+        assert s["availability"] == pytest.approx(0.25)
+
+    def test_empty_run_is_available(self):
+        s = disposition_summary([])
+        assert s["issued"] == 0
+        assert s["availability"] == 1.0
+
+    def test_report_wrapper_matches(self, graph):
+        h = make_harness(graph, timeout=0.02, seed=9, max_in_flight=2)
+        report = h.run(PoissonArrivals(800.0), horizon=0.1, max_queries=80)
+        assert report.dispositions() == disposition_summary(report.logs)
+        merged = report.dispositions({"shed": 2})
+        assert merged["issued"] == disposition_summary(report.logs)["issued"] + 2

@@ -7,7 +7,13 @@ import pytest
 
 from repro.graph.suite import suite_graph
 from repro.load.arrivals import PoissonArrivals
-from repro.load.mixes import HotspotMix, KSampler, UniformMix, make_mix
+from repro.load.mixes import (
+    HotspotMix,
+    KSampler,
+    UniformMix,
+    largest_scc,
+    make_mix,
+)
 from repro.load.trace import dump_trace, load_trace, record_open_loop
 
 
@@ -135,3 +141,38 @@ class TestTraceRoundTrip:
         )
         assert len(queries) == 25
         assert [q.request_id for q in queries] == [f"q{i:06d}" for i in range(25)]
+
+
+class TestSccRestriction:
+    def test_largest_scc_is_mutually_reachable(self, graph):
+        ids = set(largest_scc(graph).tolist())
+        assert 2 <= len(ids) <= graph.num_vertices
+        # spot-check: a handful of pairs inside the component connect
+        from repro.sssp.dijkstra import dijkstra
+        import numpy as np
+        sample = sorted(ids)[:3]
+        for s in sample:
+            dist = dijkstra(graph, s).dist
+            for t in sample:
+                assert np.isfinite(dist[t]), (s, t)
+
+    def test_spec_flag_confines_endpoints(self, graph):
+        ids = set(largest_scc(graph).tolist())
+        mix = make_mix(graph, {"kind": "hotspot", "scc": True})
+        rng = Random(5)
+        for _ in range(200):
+            s, t, k = mix.sample(rng)
+            assert s in ids and t in ids and s != t
+
+    def test_uniform_mix_subset(self, graph):
+        ids = largest_scc(graph)
+        mix = UniformMix(graph, vertices=ids)
+        rng = Random(7)
+        seen = {mix.sample(rng)[:2] for _ in range(300)}
+        flat = {v for pair in seen for v in pair}
+        assert flat <= set(ids.tolist())
+
+    def test_scc_is_deterministic(self, graph):
+        a = largest_scc(graph)
+        b = largest_scc(graph)
+        assert a.tolist() == b.tolist()

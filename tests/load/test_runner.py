@@ -164,3 +164,50 @@ def main_args_run(cli, json_path, txt_path):
         "run", "--table", "micro", "--json", str(json_path),
         "--summary", str(txt_path), "--quiet",
     ])
+
+
+#: one replicated cell next to a single-server cell — the replicas axis
+REPLICATED = RunTable(
+    name="replicated",
+    traffic=(("poisson", {"kind": "poisson", "rate": 400.0}),),
+    graphs=("LJ",),
+    configs=(
+        ServerConfig(name="single", timeout=0.5, max_in_flight=2),
+        ServerConfig(name="fabric2", timeout=0.5, max_in_flight=2, replicas=2),
+    ),
+    scale="tiny",
+    repetitions=1,
+    horizon=0.12,
+    mix={"kind": "hotspot", "scc": True, "k": {"k_max": 4}},
+    seed=7,
+    max_queries=50,
+)
+
+
+class TestReplicasAxis:
+    @pytest.fixture(scope="class")
+    def rep_payload(self):
+        return run_table(REPLICATED)
+
+    def test_rows_carry_the_axis(self, rep_payload):
+        by_config = {r["config"]: r for r in rep_payload["rows"]}
+        assert by_config["single"]["replicas"] == 1
+        assert by_config["fabric2"]["replicas"] == 2
+        assert [c["replicas"] for c in rep_payload["configs"]] == [1, 2]
+
+    def test_unified_dispositions_on_every_row(self, rep_payload):
+        for row in rep_payload["rows"]:
+            d = row["dispositions"]
+            assert {k for k in DISPOSITIONS} <= set(d)
+            assert {"issued", "answered", "availability", "hedged"} <= set(d)
+            assert d["issued"] >= row["queries"]
+            assert 0.0 <= d["availability"] <= 1.0
+
+    def test_replicated_cell_has_fabric_metrics(self, rep_payload):
+        row = next(r for r in rep_payload["rows"] if r["config"] == "fabric2")
+        assert {"availability", "kills", "spills", "heartbeats"} <= set(row)
+        assert row["kills"] == 0
+
+    def test_replicated_cell_reproducible(self, rep_payload):
+        again = run_table(REPLICATED)
+        assert json.dumps(rep_payload, indent=2) == json.dumps(again, indent=2)

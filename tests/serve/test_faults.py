@@ -71,6 +71,18 @@ class TestParseFaultSpec:
         r = parse_fault_spec("dist.sssp:rankfail:5@1")
         assert (r.at_hit, r.rank) == (5, 1)
 
+    def test_replica_target(self):
+        """``@R<N>`` scopes the rule to a serving-fabric replica, not a
+        BSP rank — the two namespaces never mix in one rule."""
+        r = parse_fault_spec("fabric.heartbeat:rankfail:3@R1")
+        assert (r.stage, r.kind, r.at_hit) == ("fabric.heartbeat", "rankfail", 3)
+        assert r.replica == 1
+        assert r.rank is None
+
+    def test_replica_target_lowercase(self):
+        r = parse_fault_spec("fabric.mutate:rankfail@r2")
+        assert (r.replica, r.rank) == (2, None)
+
     @pytest.mark.parametrize(
         "bad",
         [
@@ -80,6 +92,8 @@ class TestParseFaultSpec:
             "s:timeout:notanint",
             "s:timeout@notanint",
             "s:timeout:1:2",
+            "s:rankfail@R",
+            "s:rankfail@Rx",
         ],
     )
     def test_malformed_rejected(self, bad):
